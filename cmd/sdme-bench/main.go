@@ -1,0 +1,163 @@
+// Command sdme-bench regenerates every table and figure of the paper's
+// evaluation (plus the repository's extension ablations) and writes them
+// as CSV and Markdown under an output directory.
+//
+// Usage:
+//
+//	sdme-bench [-out results] [-seed 20] [-quick]
+//
+// -quick runs a reduced traffic sweep (useful for smoke checks); the
+// default regenerates the full 1M–10M packet series of Figures 4 and 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sdme/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sdme-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "results", "output directory for CSV/Markdown artifacts")
+	seed := flag.Int64("seed", 20, "seed for topology, placement and workload")
+	quick := flag.Bool("quick", false, "reduced sweep for smoke checks")
+	multiseed := flag.Int("multiseed", 0, "additionally average the campus point over N seeds")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	traffic := []int(nil) // default: paper's 1M..10M
+	tablePoint := 10000000
+	if *quick {
+		traffic = []int{200000, 400000}
+		tablePoint = 400000
+	}
+
+	md, err := os.Create(filepath.Join(*out, "EXPERIMENTS.generated.md"))
+	if err != nil {
+		return err
+	}
+	defer md.Close()
+	fmt.Fprintf(md, "# Generated experiment results\n\nseed %d, generated %s\n",
+		*seed, time.Now().UTC().Format(time.RFC3339))
+
+	for _, topoName := range []string{"campus", "waxman"} {
+		start := time.Now()
+		res, err := experiments.RunMaxLoadFigure(experiments.Config{
+			Topology: topoName, Seed: *seed, TrafficPoints: traffic,
+		})
+		if err != nil {
+			return fmt.Errorf("figure on %s: %w", topoName, err)
+		}
+		csvPath := filepath.Join(*out, "figure_"+topoName+".csv")
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteFigureCSV(f, res); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		figNum := 4
+		if topoName == "waxman" {
+			figNum = 5
+		}
+		fmt.Fprintf(md, "\n## Figure %d (%s topology)\n%s", figNum, topoName, experiments.FigureMarkdown(res))
+		fmt.Printf("figure %d (%s): %d points -> %s (%v)\n",
+			figNum, topoName, len(res.Points), csvPath, time.Since(start).Round(time.Millisecond))
+	}
+
+	rows, err := experiments.RunLoadDistributionTable(experiments.Config{
+		Topology: "campus", Seed: *seed,
+	}, tablePoint)
+	if err != nil {
+		return fmt.Errorf("table III: %w", err)
+	}
+	f, err := os.Create(filepath.Join(*out, "table3.csv"))
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteTableCSV(f, rows); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	fmt.Fprintf(md, "\n## Table III (campus, %d packets)\n\n%s", tablePoint, experiments.TableMarkdown(rows))
+	fmt.Println("table III -> " + filepath.Join(*out, "table3.csv"))
+
+	kPoints, err := experiments.RunCandidateKAblation(experiments.Config{
+		Topology: "campus", Seed: *seed,
+	}, tablePoint/5, []int{1, 2, 4, 7})
+	if err != nil {
+		return fmt.Errorf("k ablation: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Ablation A: candidate-set size k\n\n%s", experiments.KAblationMarkdown(kPoints))
+
+	off, err := experiments.RunStateAblation(*seed, 150, 6, 1480, false)
+	if err != nil {
+		return fmt.Errorf("state ablation (tunnel): %w", err)
+	}
+	on, err := experiments.RunStateAblation(*seed, 150, 6, 1480, true)
+	if err != nil {
+		return fmt.Errorf("state ablation (labels): %w", err)
+	}
+	fmt.Fprintf(md, "\n## Ablation B: flow table & label switching\n\n%s", experiments.StateAblationMarkdown(off, on))
+
+	base, stretch, err := experiments.RunPathStretch(experiments.Config{
+		Topology: "campus", Seed: *seed,
+	}, tablePoint/5)
+	if err != nil {
+		return fmt.Errorf("path stretch: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Ablation D: path stretch\n\n%s", experiments.StretchMarkdown(base, stretch))
+
+	qpoints, err := experiments.RunQueueingAblation(*seed, 120, 40, 9000)
+	if err != nil {
+		return fmt.Errorf("queueing ablation: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Ablation E: latency under finite middlebox capacity\n\n%s", experiments.QueueingMarkdown(qpoints))
+
+	drift, err := experiments.RunDriftExperiment(experiments.Config{
+		Topology: "campus", Seed: *seed,
+	}, tablePoint/10, 6)
+	if err != nil {
+		return fmt.Errorf("drift: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Ablation F: periodic rebalancing under traffic drift\n\n%s", experiments.DriftMarkdown(drift))
+
+	cmp, err := experiments.RunEq1VsEq2(experiments.Config{
+		Topology: "campus", Seed: *seed, PoliciesPerClass: 3,
+	}, tablePoint/20)
+	if err != nil {
+		return fmt.Errorf("formulation ablation: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Ablation C: Eq. (1) vs Eq. (2)\n\n%s", experiments.FormulationMarkdown(cmp))
+
+	if *multiseed > 1 {
+		seeds := make([]int64, *multiseed)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		sum, err := experiments.RunMultiSeed(experiments.Config{Topology: "campus"}, tablePoint/5, seeds)
+		if err != nil {
+			return fmt.Errorf("multiseed: %w", err)
+		}
+		fmt.Fprintf(md, "\n## Cross-seed robustness\n\n%s", experiments.MultiSeedMarkdown(sum))
+		fmt.Printf("multi-seed summary over %d seeds\n", *multiseed)
+	}
+
+	fmt.Println("markdown -> " + md.Name())
+	return nil
+}

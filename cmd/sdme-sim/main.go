@@ -1,0 +1,220 @@
+// Command sdme-sim runs one policy-enforcement experiment and prints the
+// resulting per-middlebox load distribution.
+//
+// Usage:
+//
+//	sdme-sim [-topology campus|waxman] [-strategy hp|rand|lb]
+//	         [-traffic 1000000] [-policies 10] [-seed 20] [-labels]
+//	         [-packet-level]
+//
+// The default mode uses the fast flow-level evaluator (valid because the
+// dataplane pins each flow to one middlebox chain). -packet-level runs
+// the discrete-event simulator instead, on a proportionally reduced
+// traffic volume, and also reports network-level statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sdme/internal/controller"
+	"sdme/internal/enforce"
+	"sdme/internal/experiments"
+	"sdme/internal/netaddr"
+	"sdme/internal/ospf"
+	"sdme/internal/sim"
+	"sdme/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sdme-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategy(s string) (enforce.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "hp", "hotpotato", "hot-potato":
+		return enforce.HotPotato, nil
+	case "rand", "random":
+		return enforce.Random, nil
+	case "lb", "loadbalanced", "load-balanced":
+		return enforce.LoadBalanced, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want hp, rand or lb)", s)
+	}
+}
+
+func run() error {
+	topoName := flag.String("topology", "campus", "campus or waxman")
+	stratName := flag.String("strategy", "lb", "hp, rand or lb")
+	traffic := flag.Int("traffic", 1000000, "total packets to generate")
+	policies := flag.Int("policies", 10, "policies per class")
+	seed := flag.Int64("seed", 20, "deterministic seed")
+	labels := flag.Bool("labels", false, "enable §III-E label switching (packet-level mode)")
+	packetLevel := flag.Bool("packet-level", false, "run the discrete-event simulator")
+	traceSpec := flag.String("trace", "", "trace one flow: srcSubnet:dstSubnet:dstPort (e.g. 1:2:80)")
+	flag.Parse()
+
+	strategy, err := parseStrategy(*stratName)
+	if err != nil {
+		return err
+	}
+	bed, err := experiments.NewBed(experiments.Config{
+		Topology: *topoName, Seed: *seed, PoliciesPerClass: *policies,
+	})
+	if err != nil {
+		return err
+	}
+	stats := bed.Graph.Summarize()
+	fmt.Printf("topology %s: %d nodes, %d links, %d middleboxes, %d proxies\n",
+		*topoName, stats.Nodes, stats.Links, stats.Middleboxes, stats.Proxies)
+
+	if *packetLevel {
+		return runPacketLevel(bed, strategy, *traffic, *labels, *seed)
+	}
+
+	demands := bed.GenerateDemands(*traffic)
+	report, sol, err := bed.RunStrategy(strategy, demands)
+	if err != nil {
+		return err
+	}
+	if *traceSpec != "" {
+		if err := traceOne(bed, strategy, demands, *traceSpec); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("strategy %v, %d flows, %d packets\n", strategy, len(demands), report.TotalPackets)
+	if sol != nil {
+		fmt.Printf("LB optimum λ = %.0f packets (LP: %d vars, %d constraints, %d pivots)\n",
+			sol.Lambda, sol.Vars, sol.Constraints, sol.Iterations)
+	}
+	printLoads(bed, report)
+	fmt.Printf("average policy-enforced path cost: %.2f hops/packet\n", report.AvgPathCost())
+	return nil
+}
+
+// traceOne resolves a "src:dst:port" spec and prints the flow's exact
+// enforcement path under the given strategy (with LB weights solved for
+// the same demand set, so the answer matches the evaluation above).
+func traceOne(bed *experiments.Bed, strategy enforce.Strategy, demands []enforce.FlowDemand, spec string) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("bad -trace %q, want src:dst:port", spec)
+	}
+	src, err1 := strconv.Atoi(parts[0])
+	dst, err2 := strconv.Atoi(parts[1])
+	port, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf("bad -trace %q", spec)
+	}
+	ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{
+		Strategy: strategy, K: bed.Cfg.K,
+	})
+	nodes, err := ctl.BuildNodes()
+	if err != nil {
+		return err
+	}
+	if strategy == enforce.LoadBalanced {
+		sol, err := ctl.SolveLB(controller.MeasurementsFromFlows(bed.Dep, bed.Table, demands))
+		if err != nil {
+			return err
+		}
+		controller.ApplyWeights(nodes, sol)
+	}
+	ft := netaddr.FiveTuple{
+		Src: topo.HostAddr(src, 1), Dst: topo.HostAddr(dst, 1),
+		SrcPort: 33333, DstPort: uint16(port), Proto: netaddr.ProtoTCP,
+	}
+	tr, err := enforce.TraceFlow(nodes, bed.Dep, bed.AllPairs, ft)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace: %s\n", tr)
+	for _, h := range tr.Hops {
+		names := make([]string, len(h.Candidates))
+		for i, c := range h.Candidates {
+			names[i] = bed.Graph.Node(c).Name
+		}
+		fmt.Printf("  %-4s -> %-6s (+%.0f hops) chosen from %v\n",
+			h.Func, bed.Graph.Node(h.Node).Name, h.Cost, names)
+	}
+	return nil
+}
+
+func printLoads(bed *experiments.Bed, report *enforce.LoadReport) {
+	for _, f := range experiments.Funcs {
+		providers := topo.SortedIDs(bed.Dep.Providers(f))
+		if len(providers) == 0 {
+			continue
+		}
+		fmt.Printf("\n%s middleboxes:\n", f)
+		loads := report.LoadsOf(bed.Dep, f)
+		for i, id := range providers {
+			bar := strings.Repeat("#", int(60*loads[i]/(1+report.MaxLoad(bed.Dep, f))))
+			fmt.Printf("  %-8s %9d %s\n", bed.Graph.Node(id).Name, loads[i], bar)
+		}
+	}
+}
+
+func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int, labels bool, seed int64) error {
+	// Packet-level simulation is detailed; cap the injected volume.
+	const maxPackets = 200000
+	if traffic > maxPackets {
+		fmt.Printf("packet-level mode: reducing traffic %d -> %d packets\n", traffic, maxPackets)
+		traffic = maxPackets
+	}
+	ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{
+		Strategy: strategy, K: bed.Cfg.K,
+		LabelSwitching: labels, HashSeed: uint64(seed),
+	})
+	nodes, err := ctl.BuildNodes()
+	if err != nil {
+		return err
+	}
+	if strategy == enforce.LoadBalanced {
+		demands := bed.GenerateDemands(traffic)
+		meas := controller.MeasurementsFromFlows(bed.Dep, bed.Table, demands)
+		sol, err := ctl.SolveLB(meas)
+		if err != nil {
+			return err
+		}
+		controller.ApplyWeights(nodes, sol)
+	}
+	dom := ospf.NewDomain(bed.Graph)
+	fstats := dom.Converge()
+	fmt.Printf("OSPF converged: %d flooding rounds, %d LSA messages\n", fstats.Rounds, fstats.Messages)
+
+	nw := sim.New(bed.Graph, dom, bed.Dep, nodes)
+	demands := bed.GenerateDemands(traffic)
+	at := int64(0)
+	for _, d := range demands {
+		if err := nw.InjectFlow(d.Tuple, int(d.Packets), 512, at, 200); err != nil {
+			return err
+		}
+		at += 13
+	}
+	nw.Run(0)
+	s := nw.Stats()
+	fmt.Printf("\nsimulation: injected=%d delivered=%d served=%d dropped(policy)=%d hops=%d\n",
+		s.PacketsInjected, s.Delivered, s.ServedLocally, s.DroppedPolicy, s.PacketHops)
+	fmt.Printf("fragments=%d reassemblies=%d control=%d errors=%d\n",
+		s.FragmentsCreated, s.Reassemblies, s.ControlMessages, s.EnforcementErrors)
+
+	loads := nw.MiddleboxLoads()
+	ids := make([]topo.NodeID, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Println("\nmiddlebox loads:")
+	for _, id := range ids {
+		fmt.Printf("  %-8s %9d\n", bed.Graph.Node(id).Name, loads[id])
+	}
+	return nil
+}

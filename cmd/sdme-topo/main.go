@@ -1,0 +1,143 @@
+// Command sdme-topo inspects the generated topologies: node/link
+// statistics, middlebox placement, OSPF routing tables and the
+// controller's candidate assignments.
+//
+// Usage:
+//
+//	sdme-topo [-topology campus|waxman] [-seed 20] [-routes edge1]
+//	          [-candidates proxy-edge1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdme/internal/controller"
+	"sdme/internal/experiments"
+	"sdme/internal/ospf"
+	"sdme/internal/topo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sdme-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	topoName := flag.String("topology", "campus", "campus or waxman")
+	seed := flag.Int64("seed", 20, "deterministic seed")
+	routesOf := flag.String("routes", "", "print the OSPF routing table of this node name")
+	candidatesOf := flag.String("candidates", "", "print the candidate sets M_x^e of this node name")
+	exportPath := flag.String("export", "", "write the full controller configuration as JSON to this file")
+	audit := flag.Bool("audit", false, "build the default deployment and audit enforceability of every policy")
+	flag.Parse()
+
+	bed, err := experiments.NewBed(experiments.Config{Topology: *topoName, Seed: *seed, PoliciesPerClass: 1})
+	if err != nil {
+		return err
+	}
+	g := bed.Graph
+	s := g.Summarize()
+	fmt.Printf("topology %s (seed %d)\n", *topoName, *seed)
+	fmt.Printf("  nodes: %d (core %d, edge %d, gateways %d, middleboxes %d, proxies %d)\n",
+		s.Nodes, s.Core, s.Edge, s.Gateways, s.Middleboxes, s.Proxies)
+	fmt.Printf("  links: %d, router degree %d..%d, connected=%v\n",
+		s.Links, s.MinRouterDegree, s.MaxRouterDeg, s.ConnectedRouters)
+
+	fmt.Println("\nmiddlebox placement:")
+	for _, id := range bed.Dep.MBNodes {
+		n := g.Node(id)
+		fmt.Printf("  %-8s %-14s attached to %s\n", n.Name, n.Addr, g.Node(n.Attach).Name)
+	}
+
+	findByName := func(name string) (topo.NodeID, bool) {
+		for i := 0; i < g.NumNodes(); i++ {
+			if g.Node(topo.NodeID(i)).Name == name {
+				return topo.NodeID(i), true
+			}
+		}
+		return topo.InvalidNode, false
+	}
+
+	if *routesOf != "" {
+		id, ok := findByName(*routesOf)
+		if !ok {
+			return fmt.Errorf("no node named %q", *routesOf)
+		}
+		dom := ospf.NewDomain(g)
+		stats := dom.Converge()
+		fmt.Printf("\nOSPF: %d rounds, %d messages; routing table of %s:\n",
+			stats.Rounds, stats.Messages, *routesOf)
+		for _, e := range dom.Table(id).Entries() {
+			target := "local"
+			if !e.Route.Local {
+				target = "via " + g.Node(e.Route.NextHop).Name
+			} else if e.Route.NextHop != id {
+				target = "deliver to " + g.Node(e.Route.NextHop).Name
+			}
+			fmt.Printf("  %-18s cost %-4.0f %s\n", e.Prefix, e.Route.Cost, target)
+		}
+	}
+
+	if *audit {
+		ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{K: controller.DefaultK()})
+		nodes, err := ctl.BuildNodes()
+		if err != nil {
+			return err
+		}
+		vs := ctl.Audit(nodes)
+		if len(vs) == 0 {
+			fmt.Printf("\naudit: all %d policies enforceable from all %d subnets\n",
+				bed.Table.Len(), bed.Dep.NumSubnets())
+		} else {
+			fmt.Printf("\naudit: %d violations\n", len(vs))
+			for _, v := range vs {
+				fmt.Println("  " + v.String())
+			}
+		}
+	}
+
+	if *exportPath != "" {
+		ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{K: controller.DefaultK()})
+		nodes, err := ctl.BuildNodes()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ctl.ExportConfig(nodes).WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nconfiguration exported to %s\n", *exportPath)
+	}
+
+	if *candidatesOf != "" {
+		id, ok := findByName(*candidatesOf)
+		if !ok {
+			return fmt.Errorf("no node named %q", *candidatesOf)
+		}
+		ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{
+			K: controller.DefaultK(),
+		})
+		fmt.Printf("\ncandidate sets M_x^e of %s (closest first):\n", *candidatesOf)
+		cands := ctl.CandidatesOf(id)
+		for _, f := range experiments.Funcs {
+			list, ok := cands[f]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-4s:", f)
+			for _, mb := range list {
+				fmt.Printf(" %s(d=%.0f)", g.Node(mb).Name, bed.AllPairs.Dist(id, mb))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

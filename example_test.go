@@ -1,0 +1,55 @@
+package sdme_test
+
+import (
+	"fmt"
+	"log"
+
+	"sdme"
+)
+
+// Example_quickstart shows the full lifecycle: build the paper's campus
+// network, declare a policy, deploy load-balanced enforcement, optimize
+// against measured demand, and inspect a flow's path.
+func Example_quickstart() {
+	sys, err := sdme.NewCampus(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.MustAddPolicy("*", "10.2.0.0/16", "*", "80", "FW,IDS")
+	if err := sys.Deploy(sdme.LoadBalanced); err != nil {
+		log.Fatal(err)
+	}
+
+	flow := sdme.Flow(sdme.HostAddr(3, 1), sdme.HostAddr(2, 1), 40000, 80)
+	demands := []sdme.FlowDemand{{Tuple: flow, Packets: 1000}}
+	if _, err := sys.Balance(demands); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := sys.Trace(flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chain length: %d\n", len(tr.Hops))
+	fmt.Printf("first function: %v\n", tr.Hops[0].Func)
+	fmt.Printf("violations: %d\n", len(sys.Verify()))
+	// Output:
+	// chain length: 2
+	// first function: FW
+	// violations: 0
+}
+
+// Example_policyLint shows the first-match analyzer catching a dead
+// policy before deployment.
+func Example_policyLint() {
+	sys, err := sdme.NewCampus(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.MustAddPolicy("*", "*", "*", "*", "FW")             // matches everything
+	sys.MustAddPolicy("10.1.0.0/16", "*", "*", "80", "IDS") // can never match
+	for _, finding := range sys.LintPolicies() {
+		fmt.Println(finding)
+	}
+	// Output:
+	// shadowed: policy#1[10.1.0.0/16:* -> *:80 proto=any: IDS] shadowed by policy#0[*:* -> *:* proto=any: FW]
+}

@@ -1,0 +1,76 @@
+// Label switching: watch the §III-E mechanism work packet by packet in
+// the discrete-event simulator. Packets are sized exactly at the MTU, so
+// IP-over-IP tunneling forces fragmentation — and label switching makes
+// it disappear after the first packet of each flow.
+//
+//	go run ./examples/label-switching
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdme"
+)
+
+func run(labelSwitching bool) {
+	sys, err := sdme.NewSystem(sdme.Config{
+		Topology:       "campus",
+		Seed:           9,
+		LabelSwitching: labelSwitching,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.MustAddPolicy("*", "*", "*", "80", "FW,IDS")
+	if err := sys.Deploy(sdme.HotPotato); err != nil {
+		log.Fatal(err)
+	}
+	nw, err := sys.Simulator()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 30 flows × 8 packets of 1480 bytes: exactly 1500 on the wire, so
+	// one extra IP header cannot fit under the MTU.
+	for i := 0; i < 30; i++ {
+		src, dst := 1+i%10, 1+(i+4)%10
+		if dst == src {
+			dst = 1 + (dst % 10)
+		}
+		ft := sdme.Flow(sdme.HostAddr(src, 1+i), sdme.HostAddr(dst, 1), uint16(25000+i), 80)
+		// Packets are spaced 8ms apart so the §III-E control message
+		// returns between the first and second packet of each flow.
+		if err := nw.InjectFlow(ft, 8, 1480, int64(i)*111, 8000); err != nil {
+			log.Fatal(err)
+		}
+	}
+	nw.Run(0)
+
+	s := nw.Stats()
+	mode := "IP-over-IP tunneling only"
+	if labelSwitching {
+		mode = "with label switching"
+	}
+	fmt.Printf("=== %s ===\n", mode)
+	fmt.Printf("injected %d packets, delivered %d\n", s.PacketsInjected, s.Delivered)
+	fmt.Printf("fragments created: %d (reassemblies: %d)\n", s.FragmentsCreated, s.Reassemblies)
+	fmt.Printf("control messages:  %d\n", s.ControlMessages)
+
+	var tunnel, label int64
+	for _, n := range sys.Nodes {
+		c := n.Counters
+		tunnel += c.TunnelTx
+		label += c.LabelTx
+	}
+	fmt.Printf("transmissions: %d tunneled (+20B each), %d label-switched (+0B)\n\n", tunnel, label)
+}
+
+func main() {
+	fmt.Println("240 packets of 1480B traverse FW -> IDS chains over 1500B-MTU links.")
+	fmt.Println()
+	run(false)
+	run(true)
+	fmt.Println("Label switching confines fragmentation to each flow's first packet,")
+	fmt.Println("exactly the §III-E claim of the paper.")
+}

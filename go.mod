@@ -1,0 +1,3 @@
+module sdme
+
+go 1.22

@@ -1,0 +1,161 @@
+package controller
+
+import (
+	"fmt"
+
+	"sdme/internal/enforce"
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// Enforcement audit: mechanical verification that the deployed
+// configuration actually enforces every policy — the "dependable" claim,
+// checked rather than assumed. For every (policy, source subnet) pair the
+// audit synthesizes a representative flow, walks it through the nodes'
+// own selection logic (enforce.TraceFlow), and verifies that the realized
+// middlebox chain performs exactly the policy's action list in order.
+//
+// Violations surface configuration bugs: a function with no reachable
+// provider from some node, stale candidate sets after failures, or a
+// node whose local policy table P_x disagrees with the global intent.
+
+// Violation is one audit failure.
+type Violation struct {
+	PolicyID  int
+	SrcSubnet int
+	// Reason describes what went wrong.
+	Reason string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("policy %d from subnet %d: %s", v.PolicyID, v.SrcSubnet, v.Reason)
+}
+
+// Audit verifies the full deployment. It returns all violations; empty
+// means the configuration provably enforces every policy from every
+// subnet, for the synthesized representative flows.
+func (c *Controller) Audit(nodes map[topo.NodeID]*enforce.Node) []Violation {
+	var out []Violation
+	for _, p := range c.policies.All() {
+		if p.Actions.IsPermit() {
+			continue
+		}
+		for subnet := 1; subnet <= c.dep.NumSubnets(); subnet++ {
+			ft, ok := c.representativeFlow(p, subnet)
+			if !ok {
+				continue // this subnet cannot source matching traffic
+			}
+			tr, err := enforce.TraceFlow(nodes, c.dep, c.ap, ft)
+			if err != nil {
+				out = append(out, Violation{
+					PolicyID: p.ID, SrcSubnet: subnet,
+					Reason: fmt.Sprintf("trace failed: %v", err),
+				})
+				continue
+			}
+			if tr.Policy == nil {
+				out = append(out, Violation{
+					PolicyID: p.ID, SrcSubnet: subnet,
+					Reason: "flow matches no policy at its proxy (P_x incomplete)",
+				})
+				continue
+			}
+			if tr.Policy.ID != p.ID {
+				// A higher-priority policy legitimately captures the
+				// flow; the audited policy is not violated by that.
+				continue
+			}
+			if v, bad := c.checkChain(p, subnet, tr); bad {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// checkChain validates one traced chain against the policy's action list.
+func (c *Controller) checkChain(p *policy.Policy, subnet int, tr *enforce.Trace) (Violation, bool) {
+	if len(tr.Hops) != len(p.Actions) {
+		return Violation{
+			PolicyID: p.ID, SrcSubnet: subnet,
+			Reason: fmt.Sprintf("chain length %d, want %d", len(tr.Hops), len(p.Actions)),
+		}, true
+	}
+	for i, hop := range tr.Hops {
+		if hop.Func != p.Actions[i] {
+			return Violation{
+				PolicyID: p.ID, SrcSubnet: subnet,
+				Reason: fmt.Sprintf("step %d performs %v, want %v", i, hop.Func, p.Actions[i]),
+			}, true
+		}
+		if !c.implements(hop.Node, hop.Func) {
+			return Violation{
+				PolicyID: p.ID, SrcSubnet: subnet,
+				Reason: fmt.Sprintf("step %d lands on node %d which does not implement %v", i, hop.Node, hop.Func),
+			}, true
+		}
+		if c.failed[hop.Node] {
+			return Violation{
+				PolicyID: p.ID, SrcSubnet: subnet,
+				Reason: fmt.Sprintf("step %d routed to failed middlebox %d", i, hop.Node),
+			}, true
+		}
+	}
+	return Violation{}, false
+}
+
+func (c *Controller) implements(id topo.NodeID, f policy.FuncType) bool {
+	for _, fn := range c.dep.FuncsOf(id) {
+		if fn == f {
+			return true
+		}
+	}
+	return false
+}
+
+// representativeFlow synthesizes a flow from the given subnet matching
+// policy p, or reports that none exists (the policy's source side does
+// not overlap the subnet).
+func (c *Controller) representativeFlow(p *policy.Policy, subnet int) (netaddr.FiveTuple, bool) {
+	sub := topo.SubnetPrefix(subnet)
+	if !p.Desc.Src.Overlaps(sub) {
+		return netaddr.FiveTuple{}, false
+	}
+	ft := netaddr.FiveTuple{
+		SrcPort: p.Desc.SrcPort.Lo,
+		DstPort: p.Desc.DstPort.Lo,
+		Proto:   p.Desc.Proto,
+	}
+	if ft.Proto == netaddr.ProtoAny {
+		ft.Proto = netaddr.ProtoTCP
+	}
+	// Source: a host inside both the subnet and the policy's src prefix.
+	if p.Desc.Src.Bits() <= sub.Bits() {
+		ft.Src = topo.HostAddr(subnet, 1)
+	} else {
+		ft.Src = p.Desc.Src.Addr()
+		if !sub.Contains(ft.Src) {
+			return netaddr.FiveTuple{}, false
+		}
+	}
+	// Destination: inside the policy's dst prefix, preferring another
+	// stub subnet so the tail of the path is routable.
+	switch {
+	case p.Desc.Dst.IsAny():
+		other := subnet%c.dep.NumSubnets() + 1
+		if other == subnet {
+			other = (subnet % c.dep.NumSubnets()) + 1
+		}
+		ft.Dst = topo.HostAddr(other, 1)
+	case p.Desc.Dst.Bits() <= 16 && topo.SubnetIndexOf(p.Desc.Dst.Addr()+netaddr.Addr(1<<8+1)) != 0:
+		ft.Dst = p.Desc.Dst.Addr() + netaddr.Addr(1<<8+1) // host 1 pattern inside a /16+
+	default:
+		ft.Dst = p.Desc.Dst.Addr()
+	}
+	if !p.Desc.Matches(ft) {
+		return netaddr.FiveTuple{}, false
+	}
+	return ft, true
+}

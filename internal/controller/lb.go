@@ -1,0 +1,414 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"sdme/internal/enforce"
+	"sdme/internal/lp"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// LBSolution is the outcome of a load-balancing optimization: the optimal
+// λ (maximum load factor), the per-node probabilistic forwarding weights
+// to install, and the middlebox loads the LP expects those weights to
+// produce.
+type LBSolution struct {
+	Lambda float64
+	// Capped reports whether the λ <= 1 constraint was kept. When the
+	// instance is infeasible under the cap the controller re-solves
+	// without it, reports λ > 1, and sets Capped false.
+	Capped bool
+	// Weights holds, per node, the weight vectors to install (parallel
+	// to the node's candidate lists).
+	Weights map[topo.NodeID]map[enforce.WeightKey][]float64
+	// ExpectedLoads is the LP's per-middlebox load (same units as the
+	// measurements, i.e. packets).
+	ExpectedLoads map[topo.NodeID]float64
+	// Vars / Constraints / Iterations describe the solved program; the
+	// Eq. (1) vs Eq. (2) ablation reports these.
+	Vars, Constraints, Iterations int
+}
+
+// chainInstance is one unit of LP construction: a policy chain with
+// per-source demand. Eq. (2) uses one instance per policy (all sources
+// merged into one conservation system); Eq. (1) uses one instance per
+// (source, destination, policy) triple.
+type chainInstance struct {
+	pol *policy.Policy
+	// srcVols maps source proxy node -> measured packets.
+	srcVols map[topo.NodeID]int64
+	// srcSubnet/dstSubnet tag the produced weight keys; zero for the
+	// aggregated formulation.
+	srcSubnet, dstSubnet int
+}
+
+// SolveLB solves the aggregated formulation (Eq. 2 of the paper) over
+// the given measurements. Two exact reductions are applied (see
+// DESIGN.md): sources with identical candidate sets share first-hop
+// variables, and per-destination last-hop variables are merged into one
+// virtual sink per policy.
+func (c *Controller) SolveLB(meas Measurements) (*LBSolution, error) {
+	byID := c.policyIndex()
+	perPolicy := make(map[int]*chainInstance)
+	for k, v := range meas {
+		p, ok := byID[k.PolicyID]
+		if !ok {
+			return nil, fmt.Errorf("controller: measurement for unknown policy %d", k.PolicyID)
+		}
+		if p.Actions.IsPermit() {
+			continue
+		}
+		inst := perPolicy[k.PolicyID]
+		if inst == nil {
+			inst = &chainInstance{pol: p, srcVols: make(map[topo.NodeID]int64)}
+			perPolicy[k.PolicyID] = inst
+		}
+		proxyID, ok := c.dep.ProxyFor(k.SrcSubnet)
+		if !ok {
+			return nil, fmt.Errorf("controller: measurement from unknown subnet %d", k.SrcSubnet)
+		}
+		inst.srcVols[proxyID] += v
+	}
+	ids := make([]int, 0, len(perPolicy))
+	for id := range perPolicy {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	insts := make([]*chainInstance, len(ids))
+	for i, id := range ids {
+		insts[i] = perPolicy[id]
+	}
+	return c.solveChainLP(insts)
+}
+
+// SolveLBFine solves the fine-grained formulation (Eq. 1): independent
+// flow conservation and weight vectors per (source, destination, policy)
+// triple. Variable count grows with |R|^2·|P|, so this is intended for
+// small topologies and for cross-checking Eq. (2).
+func (c *Controller) SolveLBFine(meas Measurements) (*LBSolution, error) {
+	byID := c.policyIndex()
+	keys := make([]enforce.MeasKey, 0, len(meas))
+	for k := range meas {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.PolicyID != b.PolicyID {
+			return a.PolicyID < b.PolicyID
+		}
+		if a.SrcSubnet != b.SrcSubnet {
+			return a.SrcSubnet < b.SrcSubnet
+		}
+		return a.DstSubnet < b.DstSubnet
+	})
+	var insts []*chainInstance
+	for _, k := range keys {
+		p, ok := byID[k.PolicyID]
+		if !ok {
+			return nil, fmt.Errorf("controller: measurement for unknown policy %d", k.PolicyID)
+		}
+		if p.Actions.IsPermit() {
+			continue
+		}
+		proxyID, ok := c.dep.ProxyFor(k.SrcSubnet)
+		if !ok {
+			return nil, fmt.Errorf("controller: measurement from unknown subnet %d", k.SrcSubnet)
+		}
+		insts = append(insts, &chainInstance{
+			pol:       p,
+			srcVols:   map[topo.NodeID]int64{proxyID: meas[k]},
+			srcSubnet: k.SrcSubnet,
+			dstSubnet: k.DstSubnet,
+		})
+	}
+	return c.solveChainLP(insts)
+}
+
+// policyIndex maps policy ID -> policy for the global table.
+func (c *Controller) policyIndex() map[int]*policy.Policy {
+	out := make(map[int]*policy.Policy, c.policies.Len())
+	for _, p := range c.policies.All() {
+		out[p.ID] = p
+	}
+	return out
+}
+
+// wRef remembers which LP variables become which node's weight vector.
+type wRef struct {
+	owner topo.NodeID
+	key   enforce.WeightKey
+	vars  []int
+}
+
+// solveChainLP builds and solves the min-λ program over the given chain
+// instances, then extracts weights and expected loads.
+//
+// The optimization is lexicographic, mirroring the evenly spread
+// solutions the paper reports: phase one minimizes the maximum load
+// factor λ (the paper's objective); phase two fixes λ* and then balances
+// within each middlebox type — it minimizes Σ_f λ_f and maximizes Σ_f μ_f
+// where λ_f/μ_f bound the loads of function f's providers. Any phase-two
+// point is still λ-optimal, but a plain simplex vertex of phase one may
+// park some middleboxes at zero load while only the bottleneck type is
+// actually constrained; phase two removes both artifacts (cf. the tight
+// per-type spreads of the paper's Table III).
+func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
+	if c.candidates == nil {
+		c.computeAssignments()
+	}
+	sol, err := c.buildAndSolve(insts, c.opts.CapLambda, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sol == nil && c.opts.CapLambda {
+		// Infeasible under λ <= 1: overloaded network. Resolve uncapped.
+		sol, err = c.buildAndSolve(insts, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		if sol != nil {
+			sol.Capped = false
+		}
+	}
+	if sol == nil {
+		return nil, fmt.Errorf("controller: load-balancing LP infeasible even without the λ cap")
+	}
+	// Phase two: spread. Failure here is tolerable (numerical edge);
+	// keep the phase-one solution in that case.
+	lambdaStar := sol.Lambda
+	if spread, err := c.buildAndSolve(insts, false, &lambdaStar); err == nil && spread != nil {
+		spread.Lambda = lambdaStar
+		spread.Capped = sol.Capped
+		return spread, nil
+	}
+	return sol, nil
+}
+
+// buildAndSolve constructs one LP and solves it. It returns (nil, nil)
+// when the program is infeasible, so the caller can retry uncapped.
+// When maxMinAt is non-nil the program is the phase-two spread problem:
+// every middlebox load is capped at λ*·C(x), and per function type f the
+// objective minimizes its maximum load factor λ_f and maximizes its
+// minimum load factor μ_f.
+func (c *Controller) buildAndSolve(insts []*chainInstance, capLambda bool, maxMinAt *float64) (*LBSolution, error) {
+	prob := lp.NewProblem()
+	lam := prob.AddVar("lambda")
+	lamF := make(map[policy.FuncType]int)
+	muF := make(map[policy.FuncType]int)
+	if maxMinAt == nil {
+		prob.SetObjective(lam, 1)
+	} else {
+		for _, f := range c.dep.Functions() {
+			lamF[f] = prob.AddVar(fmt.Sprintf("lambda_%v", f))
+			prob.SetObjective(lamF[f], 1)
+			muF[f] = prob.AddVar(fmt.Sprintf("mu_%v", f))
+			// The spread term carries a small weight so that raising a
+			// type's minimum can never buy an increase of another type's
+			// maximum — per-type maxima stay lexicographically first.
+			prob.SetObjective(muF[f], -0.01)
+		}
+	}
+
+	loadTerms := make(map[topo.NodeID][]lp.Term)
+	var refs []wRef
+
+	for _, inst := range insts {
+		if err := c.buildChain(prob, inst, loadTerms, &refs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Capacity constraints: Σ load(x) - λ·C(x) <= 0 for every middlebox
+	// that can receive traffic (the paper's fifth/sixth constraint). In
+	// phase two the global cap is the fixed λ* and per-type bounds
+	// μ_f·C(x) <= load(x) <= λ_f·C(x) are added.
+	mbs := make([]topo.NodeID, 0, len(loadTerms))
+	for x := range loadTerms {
+		mbs = append(mbs, x)
+	}
+	sort.Slice(mbs, func(i, j int) bool { return mbs[i] < mbs[j] })
+	for _, x := range mbs {
+		if maxMinAt == nil {
+			terms := append([]lp.Term{{Var: lam, Coef: -c.capacityOf(x)}}, loadTerms[x]...)
+			prob.AddConstraint(lp.Le, 0, terms...)
+			continue
+		}
+		hardCap := (*maxMinAt + 1e-7**maxMinAt + 1e-9) * c.capacityOf(x)
+		prob.AddConstraint(lp.Le, hardCap, loadTerms[x]...)
+		for _, f := range c.dep.FuncsOf(x) {
+			ceil := append([]lp.Term{{Var: lamF[f], Coef: -c.capacityOf(x)}}, loadTerms[x]...)
+			prob.AddConstraint(lp.Le, 0, ceil...)
+			floor := append([]lp.Term{{Var: muF[f], Coef: -c.capacityOf(x)}}, loadTerms[x]...)
+			prob.AddConstraint(lp.Ge, 0, floor...)
+		}
+	}
+	if capLambda && maxMinAt == nil {
+		prob.AddConstraint(lp.Le, 1, lp.Term{Var: lam, Coef: 1})
+	}
+
+	solved, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch solved.Status {
+	case lp.Infeasible:
+		return nil, nil
+	case lp.Unbounded:
+		return nil, fmt.Errorf("controller: load-balancing LP unbounded (builder bug)")
+	}
+
+	out := &LBSolution{
+		Lambda:        solved.Objective,
+		Capped:        capLambda,
+		Weights:       make(map[topo.NodeID]map[enforce.WeightKey][]float64),
+		ExpectedLoads: make(map[topo.NodeID]float64),
+		Vars:          prob.NumVars(),
+		Constraints:   prob.NumConstraints(),
+		Iterations:    solved.Iterations,
+	}
+	for _, r := range refs {
+		w := make([]float64, len(r.vars))
+		for i, v := range r.vars {
+			w[i] = solved.Value(v)
+		}
+		m := out.Weights[r.owner]
+		if m == nil {
+			m = make(map[enforce.WeightKey][]float64)
+			out.Weights[r.owner] = m
+		}
+		// Eq. (1) instances can hit the same (owner, key) from multiple
+		// triples only if keys collide, which the subnet tags prevent;
+		// Eq. (2) never revisits a key. Accumulate defensively anyway.
+		if prev, ok := m[r.key]; ok {
+			for i := range w {
+				w[i] += prev[i]
+			}
+		}
+		m[r.key] = w
+	}
+	for x, terms := range loadTerms {
+		var total float64
+		for _, t := range terms {
+			total += t.Coef * solved.Value(t.Var)
+		}
+		out.ExpectedLoads[x] = total
+	}
+	return out, nil
+}
+
+// buildChain adds one chain instance's variables and conservation
+// constraints to the program, extending loadTerms and refs.
+func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms map[topo.NodeID][]lp.Term, refs *[]wRef) error {
+	chain := inst.pol.Actions
+	if len(chain) == 0 {
+		return nil
+	}
+	e1 := chain[0]
+
+	// Stage 0: group sources by candidate tuple (exact reduction: members
+	// of a group are interchangeable).
+	type group struct {
+		cands   []topo.NodeID
+		vol     int64
+		members []topo.NodeID
+	}
+	groups := make(map[string]*group)
+	srcs := make([]topo.NodeID, 0, len(inst.srcVols))
+	for s := range inst.srcVols {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, s := range srcs {
+		cands := c.candidates[s][e1]
+		if len(cands) == 0 {
+			return fmt.Errorf("controller: proxy %v has no candidates for %v", s, e1)
+		}
+		key := fmt.Sprint(cands)
+		g := groups[key]
+		if g == nil {
+			g = &group{cands: cands}
+			groups[key] = g
+		}
+		g.vol += inst.srcVols[s]
+		g.members = append(g.members, s)
+	}
+	gkeys := make([]string, 0, len(groups))
+	for k := range groups {
+		gkeys = append(gkeys, k)
+	}
+	sort.Strings(gkeys)
+
+	inflow := make(map[topo.NodeID][]lp.Term)
+	for _, gk := range gkeys {
+		g := groups[gk]
+		terms := make([]lp.Term, len(g.cands))
+		vars := make([]int, len(g.cands))
+		for j, y := range g.cands {
+			v := prob.AddVar(fmt.Sprintf("p%d.s0.g%s.%d", inst.pol.ID, gk, j))
+			vars[j] = v
+			terms[j] = lp.Term{Var: v, Coef: 1}
+			inflow[y] = append(inflow[y], lp.Term{Var: v, Coef: 1})
+		}
+		prob.AddConstraint(lp.Eq, float64(g.vol), terms...)
+		for _, member := range g.members {
+			*refs = append(*refs, wRef{
+				owner: member,
+				key: enforce.WeightKey{
+					PolicyID: inst.pol.ID, Func: e1,
+					SrcSubnet: inst.srcSubnet, DstSubnet: inst.dstSubnet,
+				},
+				vars: vars,
+			})
+		}
+	}
+
+	// Middle stages: conservation at each provider, fan-out to the next
+	// function's candidates.
+	for i := 1; i < len(chain); i++ {
+		eNext := chain[i]
+		newInflow := make(map[topo.NodeID][]lp.Term)
+		xs := make([]topo.NodeID, 0, len(inflow))
+		for x := range inflow {
+			xs = append(xs, x)
+		}
+		sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+		for _, x := range xs {
+			loadTerms[x] = append(loadTerms[x], inflow[x]...)
+			cands := c.candidates[x][eNext]
+			if len(cands) == 0 {
+				return fmt.Errorf("controller: middlebox %v has no candidates for %v", x, eNext)
+			}
+			cons := make([]lp.Term, 0, len(cands)+len(inflow[x]))
+			vars := make([]int, len(cands))
+			for j, y := range cands {
+				v := prob.AddVar(fmt.Sprintf("p%d.s%d.x%d.%d", inst.pol.ID, i, x, j))
+				vars[j] = v
+				cons = append(cons, lp.Term{Var: v, Coef: 1})
+				newInflow[y] = append(newInflow[y], lp.Term{Var: v, Coef: 1})
+			}
+			for _, in := range inflow[x] {
+				cons = append(cons, lp.Term{Var: in.Var, Coef: -in.Coef})
+			}
+			prob.AddConstraint(lp.Eq, 0, cons...)
+			*refs = append(*refs, wRef{
+				owner: x,
+				key: enforce.WeightKey{
+					PolicyID: inst.pol.ID, Func: eNext,
+					SrcSubnet: inst.srcSubnet, DstSubnet: inst.dstSubnet,
+				},
+				vars: vars,
+			})
+		}
+		inflow = newInflow
+	}
+
+	// Final stage: inflow at the chain's last providers feeds their load;
+	// the onward traffic to destinations is the aggregated virtual sink
+	// (exact for min-λ; see DESIGN.md).
+	for x, terms := range inflow {
+		loadTerms[x] = append(loadTerms[x], terms...)
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package enforce
+
+import (
+	"fmt"
+
+	"sdme/internal/flowtable"
+	"sdme/internal/netaddr"
+	"sdme/internal/nf"
+	"sdme/internal/packet"
+	"sdme/internal/policy"
+)
+
+// Forwarder abstracts the network below the enforcement layer. The
+// discrete-event simulator, the live UDP runtime, and unit tests each
+// provide one. Implementations route by the packet's outermost
+// destination address — exactly what the policy-oblivious routers do.
+type Forwarder interface {
+	// Send transmits a data packet from the node.
+	Send(from *Node, pkt *packet.Packet)
+	// SendControl transmits a §III-E control message announcing that
+	// flow's chain is fully installed, addressed to the proxy at "to".
+	SendControl(from *Node, to netaddr.Addr, flow netaddr.FiveTuple)
+}
+
+// HandleOutbound is the proxy entry point: a packet leaving the proxy's
+// stub network. It classifies the flow, applies §III-D/§III-E state
+// handling, and forwards — tunneled to the first middlebox of the chain,
+// label-switched once the chain is installed, or plain when no policy
+// applies (§III-B).
+func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) error {
+	if !n.IsProxy {
+		n.Counters.Misdirected++
+		return fmt.Errorf("enforce: HandleOutbound on middlebox %v", n.ID)
+	}
+	n.Counters.PacketsIn++
+	ft := pkt.FiveTuple()
+	entry := n.classify(ft, now)
+
+	// Measurement: every policy-matching packet is tallied for the
+	// controller (§III-C).
+	if !entry.Null {
+		n.meas[MeasKey{
+			PolicyID:  entry.PolicyID,
+			SrcSubnet: n.SubnetIdx,
+			DstSubnet: n.dep.SubnetIndexOf(ft.Dst),
+		}]++
+	}
+
+	if entry.Null || entry.Actions.IsPermit() {
+		n.Counters.PlainTx++
+		fwd.Send(n, pkt)
+		return nil
+	}
+
+	first, _ := entry.Actions.First()
+	next, err := n.SelectNext(entry.PolicyID, first, ft)
+	if err != nil {
+		return err
+	}
+	nextAddr := n.dep.AddrOf(next)
+
+	if n.cfg.LabelSwitching && entry.LabelSwitched && entry.Label != 0 {
+		// Established chain: rewrite the destination and ride the label.
+		if err := pkt.EmbedLabel(entry.Label); err == nil {
+			pkt.Inner.Dst = nextAddr
+			n.Counters.LabelTx++
+			fwd.Send(n, pkt)
+			return nil
+		}
+		// Fragmented packet mid-flow: fall through to tunneling.
+	}
+
+	if n.cfg.LabelSwitching && !pkt.OutermostHeader().IsFragment() {
+		// Chain not yet confirmed: label the packet so the middleboxes
+		// install their label-table entries as it passes (§III-E).
+		if l := n.flows.AllocLabel(entry); l != 0 {
+			if err := pkt.EmbedLabel(l); err != nil {
+				return err
+			}
+		}
+	}
+	if err := pkt.Encapsulate(n.Addr, nextAddr); err != nil {
+		return err
+	}
+	n.Counters.TunnelTx++
+	fwd.Send(n, pkt)
+	return nil
+}
+
+// HandleArrival is the middlebox entry point: a packet whose outermost
+// destination is this middlebox, either IP-over-IP tunneled (first
+// packets of a flow) or label-switched (subsequent packets).
+func (n *Node) HandleArrival(pkt *packet.Packet, now int64, fwd Forwarder) error {
+	if n.IsProxy {
+		n.Counters.Misdirected++
+		return fmt.Errorf("enforce: HandleArrival on proxy %v", n.ID)
+	}
+	n.Counters.PacketsIn++
+	if pkt.IsEncapsulated() {
+		return n.handleTunneled(pkt, now, fwd)
+	}
+	return n.handleLabeled(pkt, now, fwd)
+}
+
+func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) error {
+	outer, err := pkt.Decapsulate()
+	if err != nil {
+		return err
+	}
+	ft := pkt.FiveTuple()
+	entry := n.classify(ft, now)
+	if entry.Null {
+		// The proxy only tunnels policy traffic; a null here means our
+		// P_x is inconsistent with the proxy's. Forward plain rather
+		// than blackhole, and count it.
+		n.Counters.Misdirected++
+		n.Counters.PlainTx++
+		fwd.Send(n, pkt)
+		return nil
+	}
+
+	myFunc, ok := n.myFunc(entry.Actions)
+	if !ok {
+		n.Counters.Misdirected++
+		return fmt.Errorf("enforce: middlebox %v got chain %v it cannot serve", n.ID, entry.Actions)
+	}
+
+	// Label-table installation while the first packet traverses (§III-E).
+	lbl := pkt.Label()
+	nextFunc, hasNext := entry.Actions.Next(myFunc)
+	if n.cfg.LabelSwitching && lbl != 0 {
+		k := flowtable.LabelKey{Src: ft.Src, Label: lbl}
+		if hasNext {
+			n.labels.Insert(k, entry.PolicyID, entry.Actions, ft, now)
+		} else {
+			n.labels.InsertTail(k, entry.PolicyID, entry.Actions, ft, now)
+		}
+	}
+
+	verdict := n.process(myFunc, pkt, now)
+	switch verdict {
+	case nf.VerdictDrop:
+		n.Counters.Dropped++
+		return nil
+	case nf.VerdictServe:
+		n.Counters.Served++
+		return nil
+	}
+
+	if !hasNext {
+		// Chain complete: notify the proxy (outer source held its
+		// address along the whole chain) and forward the original.
+		if n.cfg.LabelSwitching && lbl != 0 {
+			n.Counters.ControlTx++
+			fwd.SendControl(n, outer.Src, ft)
+		}
+		pkt.ClearLabel()
+		n.Counters.PlainTx++
+		fwd.Send(n, pkt)
+		return nil
+	}
+
+	next, err := n.SelectNext(entry.PolicyID, nextFunc, ft)
+	if err != nil {
+		return err
+	}
+	// Re-tunnel, preserving the proxy as outer source (§III-E).
+	if err := pkt.Encapsulate(outer.Src, n.dep.AddrOf(next)); err != nil {
+		return err
+	}
+	n.Counters.TunnelTx++
+	fwd.Send(n, pkt)
+	return nil
+}
+
+func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error {
+	lbl := pkt.Label()
+	if !n.cfg.LabelSwitching || lbl == 0 {
+		n.Counters.Misdirected++
+		return fmt.Errorf("enforce: middlebox %v got unlabeled plain packet %v", n.ID, pkt)
+	}
+	k := flowtable.LabelKey{Src: pkt.Inner.Src, Label: lbl}
+	entry, ok := n.labels.Lookup(k, now)
+	if !ok {
+		// Soft state expired or never installed; without the original
+		// destination we cannot recover the flow. Count and drop.
+		n.Counters.LabelMiss++
+		return nil
+	}
+
+	myFunc, ok := n.myFunc(entry.Actions)
+	if !ok {
+		n.Counters.Misdirected++
+		return fmt.Errorf("enforce: middlebox %v got labeled chain %v it cannot serve", n.ID, entry.Actions)
+	}
+	verdict := n.process(myFunc, pkt, now)
+	switch verdict {
+	case nf.VerdictDrop:
+		n.Counters.Dropped++
+		return nil
+	case nf.VerdictServe:
+		n.Counters.Served++
+		return nil
+	}
+
+	nextFunc, hasNext := entry.Actions.Next(myFunc)
+	if !hasNext {
+		if !entry.HasDst {
+			n.Counters.LabelMiss++
+			return fmt.Errorf("enforce: tail label entry without destination at %v", n.ID)
+		}
+		pkt.Inner.Dst = entry.Dst
+		pkt.ClearLabel()
+		n.Counters.PlainTx++
+		fwd.Send(n, pkt)
+		return nil
+	}
+	// Select with the ORIGINAL tuple so the choice matches the tunneled
+	// first packet.
+	next, err := n.SelectNext(entry.PolicyID, nextFunc, entry.Flow)
+	if err != nil {
+		return err
+	}
+	pkt.Inner.Dst = n.dep.AddrOf(next)
+	n.Counters.LabelTx++
+	fwd.Send(n, pkt)
+	return nil
+}
+
+// process runs the node's function instance on the packet and counts the
+// load (the Figures 4/5 metric).
+func (n *Node) process(f policy.FuncType, pkt *packet.Packet, now int64) nf.Verdict {
+	n.Counters.Load++
+	fn := n.Funcs[f]
+	if fn == nil {
+		return nf.VerdictPass
+	}
+	return fn.Process(pkt, now)
+}
+
+// HandleControl is the proxy-side receiver for §III-E control messages:
+// it flips the flow's label-switching flag.
+func (n *Node) HandleControl(flow netaddr.FiveTuple, now int64) {
+	if !n.IsProxy {
+		n.Counters.Misdirected++
+		return
+	}
+	n.Counters.ControlRx++
+	n.flows.FlagLabelSwitched(flow, now)
+}
+
+// Sweep expires idle soft state on both tables; drivers call it
+// periodically.
+func (n *Node) Sweep(now int64) int {
+	total := 0
+	if n.flows != nil {
+		total += n.flows.Sweep(now)
+	}
+	if n.labels != nil {
+		total += n.labels.Sweep(now)
+	}
+	return total
+}

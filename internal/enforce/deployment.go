@@ -1,0 +1,159 @@
+// Package enforce is the paper's primary contribution: the
+// software-defined-middlebox enforcement dataplane. It implements the
+// per-node behaviour of policy proxies and middleboxes — classification,
+// flow hash tables, IP-over-IP tunneling along function chains, label
+// switching, and the three next-hop selection strategies (hot-potato,
+// random, load-balanced) of §III — plus a fast flow-level evaluator used
+// by the figure-scale experiments.
+//
+// The package deliberately knows nothing about how configuration is
+// computed: internal/controller builds each node's Config (candidate sets
+// M_x^e, relevant policies P_x, LB weights) and installs it here.
+package enforce
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// Deployment records where the software-defined devices sit on a
+// topology: the policy proxies (one per stub subnet) and the middleboxes
+// with the functions each implements. Build the deployment completely
+// before converging routing — attaching a middlebox adds a node and a
+// link to the graph.
+type Deployment struct {
+	Graph *topo.Graph
+	// ProxyNodes lists the policy proxies; ProxyNodes[i] serves subnet
+	// index i+1.
+	ProxyNodes []topo.NodeID
+	// MBNodes lists the middleboxes in attachment order.
+	MBNodes []topo.NodeID
+
+	mbFuncs map[topo.NodeID][]policy.FuncType
+	byFunc  map[policy.FuncType][]topo.NodeID
+	mbSeq   int
+}
+
+// NewDeployment wraps a graph (typically built with topo.Campus or
+// topo.Waxman with WithProxies) and discovers its proxies. Middleboxes
+// are added afterwards via AddMiddlebox or PlaceRandom.
+func NewDeployment(g *topo.Graph) (*Deployment, error) {
+	d := &Deployment{
+		Graph:   g,
+		mbFuncs: make(map[topo.NodeID][]policy.FuncType),
+		byFunc:  make(map[policy.FuncType][]topo.NodeID),
+	}
+	proxies := g.NodesOfKind(topo.KindProxy)
+	bySubnet := make(map[int]topo.NodeID, len(proxies))
+	maxIdx := 0
+	for _, p := range proxies {
+		n := g.Node(p)
+		idx := topo.SubnetIndexOf(n.Addr)
+		if idx == 0 {
+			return nil, fmt.Errorf("enforce: proxy %q has no subnet index (addr %v)", n.Name, n.Addr)
+		}
+		if other, dup := bySubnet[idx]; dup {
+			return nil, fmt.Errorf("enforce: subnet %d has two proxies (%v, %v)", idx, other, p)
+		}
+		bySubnet[idx] = p
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	if len(bySubnet) != maxIdx {
+		return nil, fmt.Errorf("enforce: proxies cover %d subnets but max index is %d", len(bySubnet), maxIdx)
+	}
+	d.ProxyNodes = make([]topo.NodeID, maxIdx)
+	for idx, p := range bySubnet {
+		d.ProxyNodes[idx-1] = p
+	}
+	return d, nil
+}
+
+// AddMiddlebox attaches a middlebox implementing the given functions to a
+// router and returns its node ID.
+func (d *Deployment) AddMiddlebox(router topo.NodeID, name string, funcs ...policy.FuncType) topo.NodeID {
+	if len(funcs) == 0 {
+		panic("enforce: middlebox needs at least one function")
+	}
+	d.mbSeq++
+	id := topo.AttachMiddlebox(d.Graph, router, d.mbSeq, name)
+	d.MBNodes = append(d.MBNodes, id)
+	d.mbFuncs[id] = append([]policy.FuncType(nil), funcs...)
+	for _, f := range funcs {
+		d.byFunc[f] = append(d.byFunc[f], id)
+	}
+	return id
+}
+
+// PlaceRandom attaches count[f] single-function middleboxes per function
+// type, each to a core router chosen uniformly at random (the paper's
+// placement, §IV-A). Function types are placed in sorted order so the
+// same seed always yields the same deployment.
+func (d *Deployment) PlaceRandom(counts map[policy.FuncType]int, rng *rand.Rand) {
+	cores := d.Graph.NodesOfKind(topo.KindCoreRouter)
+	if len(cores) == 0 {
+		panic("enforce: no core routers to attach middleboxes to")
+	}
+	funcs := make([]policy.FuncType, 0, len(counts))
+	for f := range counts {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i] < funcs[j] })
+	for _, f := range funcs {
+		for i := 0; i < counts[f]; i++ {
+			router := cores[rng.Intn(len(cores))]
+			name := fmt.Sprintf("%s%d", f, i+1)
+			d.AddMiddlebox(router, name, f)
+		}
+	}
+}
+
+// Providers returns the middleboxes implementing function e — the
+// paper's M^e. The slice is owned by the deployment.
+func (d *Deployment) Providers(e policy.FuncType) []topo.NodeID {
+	return d.byFunc[e]
+}
+
+// FuncsOf returns the functions implemented by a middlebox node.
+func (d *Deployment) FuncsOf(id topo.NodeID) []policy.FuncType {
+	return d.mbFuncs[id]
+}
+
+// Functions returns the set Π of functions any middlebox implements, in
+// sorted order.
+func (d *Deployment) Functions() []policy.FuncType {
+	out := make([]policy.FuncType, 0, len(d.byFunc))
+	for f := range d.byFunc {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddrOf returns the address of any node.
+func (d *Deployment) AddrOf(id topo.NodeID) netaddr.Addr {
+	return d.Graph.Node(id).Addr
+}
+
+// ProxyFor returns the proxy node serving 1-based subnet index idx.
+func (d *Deployment) ProxyFor(idx int) (topo.NodeID, bool) {
+	if idx < 1 || idx > len(d.ProxyNodes) {
+		return topo.InvalidNode, false
+	}
+	return d.ProxyNodes[idx-1], true
+}
+
+// SubnetIndexOf maps an address to its 1-based stub subnet index, 0 when
+// the address is outside every stub subnet.
+func (d *Deployment) SubnetIndexOf(a netaddr.Addr) int {
+	return topo.SubnetIndexOf(a)
+}
+
+// NumSubnets returns the number of stub subnets (= proxies).
+func (d *Deployment) NumSubnets() int { return len(d.ProxyNodes) }

@@ -1,0 +1,370 @@
+package enforce
+
+import (
+	"fmt"
+
+	"sdme/internal/flowtable"
+	"sdme/internal/netaddr"
+	"sdme/internal/nf"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// Strategy selects how a node picks the next middlebox for a function.
+type Strategy int
+
+// Enforcement strategies (§III-B, §III-C, §IV).
+const (
+	// HotPotato always forwards to the closest middlebox m_x^e.
+	HotPotato Strategy = iota + 1
+	// Random picks a uniformly random member of M_x^e (per flow).
+	Random
+	// LoadBalanced picks from M_x^e with probability proportional to the
+	// controller's LP solution.
+	LoadBalanced
+)
+
+// String renders the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case HotPotato:
+		return "HP"
+	case Random:
+		return "Rand"
+	case LoadBalanced:
+		return "LB"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// WeightKey addresses one weight vector in a node's LB configuration.
+// SrcSubnet/DstSubnet are zero in the aggregated Eq. (2) form (weights
+// shared across all sources and destinations); the fine-grained Eq. (1)
+// form sets them, and lookups fall back from specific to aggregated.
+type WeightKey struct {
+	PolicyID             int
+	Func                 policy.FuncType
+	SrcSubnet, DstSubnet int
+}
+
+// Config is the controller-installed per-node configuration.
+type Config struct {
+	// Policies is the node's relevant policy subset P_x, in global
+	// priority order.
+	Policies []*policy.Policy
+	// Candidates holds M_x^e per function e, ordered closest-first, so
+	// Candidates[e][0] is the hot-potato target m_x^e.
+	Candidates map[policy.FuncType][]topo.NodeID
+	// Weights holds the LB traffic split per (policy, next function);
+	// each vector is parallel to Candidates[key.Func]. Nil for HP/Rand.
+	Weights map[WeightKey][]float64
+	// Strategy selects HP / Rand / LB behaviour.
+	Strategy Strategy
+	// HashSeed seeds the per-flow selection hash; all nodes share it so
+	// diagnostics can reproduce choices, but correctness only needs
+	// per-node determinism.
+	HashSeed uint64
+	// LabelSwitching enables the §III-E label-switching enhancement.
+	LabelSwitching bool
+	// FlowTTL / LabelTTL are soft-state lifetimes in simulator ticks
+	// (microseconds in the discrete-event sim); zero disables expiry.
+	FlowTTL, LabelTTL int64
+	// UseTrie selects the trie classifier instead of the linear table.
+	UseTrie bool
+}
+
+// Counters aggregates a node's dataplane activity. The figure benchmarks
+// read Load; the ablation benchmarks read the rest.
+type Counters struct {
+	// PacketsIn counts packets handed to the node.
+	PacketsIn int64
+	// Load counts packets processed by this node's network function(s) —
+	// the per-middlebox load metric of Figures 4/5 and Table III.
+	Load int64
+	// Classified counts multi-field policy-table lookups (the work the
+	// §III-D flow table avoids).
+	Classified int64
+	// TunnelTx counts IP-over-IP transmissions; LabelTx counts
+	// label-switched transmissions; PlainTx counts plain forwards.
+	TunnelTx, LabelTx, PlainTx int64
+	// ControlTx / ControlRx count label-switching control messages.
+	ControlTx, ControlRx int64
+	// Dropped counts firewall drops; Served counts proxy cache serves.
+	Dropped, Served int64
+	// NoProvider counts packets needing a function with no reachable
+	// middlebox; LabelMiss counts label lookups that found no entry;
+	// Misdirected counts packets that arrived at a node that cannot
+	// serve them.
+	NoProvider, LabelMiss, Misdirected int64
+}
+
+// MeasKey identifies one traffic measurement bucket: packets of policy
+// PolicyID flowing from SrcSubnet to DstSubnet — enough to reconstruct
+// every T quantity of §III-C (T_p, T_{s,p}, T_{d,p}, T_{s,d,p}).
+type MeasKey struct {
+	PolicyID             int
+	SrcSubnet, DstSubnet int
+}
+
+// Node is one software-defined device: a policy proxy or a middlebox.
+// Nodes are single-owner: the simulator or the live runtime drives each
+// from one goroutine.
+type Node struct {
+	ID      topo.NodeID
+	Addr    netaddr.Addr
+	IsProxy bool
+	// SubnetIdx is the proxy's 1-based subnet index (0 for middleboxes).
+	SubnetIdx int
+	// Funcs maps each implemented function type to its instance.
+	Funcs map[policy.FuncType]nf.Function
+
+	cfg        Config
+	dep        *Deployment
+	classifier policy.Classifier
+	flows      *flowtable.Table
+	labels     *flowtable.LabelTable
+	meas       map[MeasKey]int64
+
+	// Counters is exported for inspection; treat as read-only outside
+	// the node's owner.
+	Counters Counters
+}
+
+// NewProxy creates a policy proxy node for the given deployment proxy
+// node ID.
+func NewProxy(dep *Deployment, id topo.NodeID) *Node {
+	n := dep.Graph.Node(id)
+	if n.Kind != topo.KindProxy {
+		panic(fmt.Sprintf("enforce: node %v is not a proxy", id))
+	}
+	return &Node{
+		ID: id, Addr: n.Addr, IsProxy: true,
+		SubnetIdx: topo.SubnetIndexOf(n.Addr),
+		dep:       dep,
+		meas:      make(map[MeasKey]int64),
+	}
+}
+
+// FunctionFactory constructs a function instance for a middlebox;
+// nf.New is the default. Custom deployments supply their own to add
+// function types beyond the built-in four (register the type with
+// policy.RegisterFunc first).
+type FunctionFactory func(policy.FuncType) (nf.Function, error)
+
+// NewMiddlebox creates a middlebox node, materializing default function
+// instances for every function the deployment assigns it.
+func NewMiddlebox(dep *Deployment, id topo.NodeID) (*Node, error) {
+	return NewMiddleboxWith(dep, id, nf.New)
+}
+
+// NewMiddleboxWith is NewMiddlebox with a custom function factory.
+func NewMiddleboxWith(dep *Deployment, id topo.NodeID, factory FunctionFactory) (*Node, error) {
+	gn := dep.Graph.Node(id)
+	if gn.Kind != topo.KindMiddlebox {
+		return nil, fmt.Errorf("enforce: node %v is not a middlebox", id)
+	}
+	if factory == nil {
+		factory = nf.New
+	}
+	funcs := make(map[policy.FuncType]nf.Function)
+	for _, ft := range dep.FuncsOf(id) {
+		f, err := factory(ft)
+		if err != nil {
+			return nil, err
+		}
+		funcs[ft] = f
+	}
+	return &Node{
+		ID: id, Addr: gn.Addr,
+		Funcs: funcs,
+		dep:   dep,
+	}, nil
+}
+
+// Install applies a controller-computed configuration, (re)building the
+// classifier and soft-state tables. Action lists with repeated function
+// types are rejected: the dataplane infers a packet's chain position from
+// which of its functions appears in the list, which requires uniqueness.
+func (n *Node) Install(cfg Config) error {
+	for _, p := range cfg.Policies {
+		seen := map[policy.FuncType]bool{}
+		for _, f := range p.Actions {
+			if seen[f] {
+				return fmt.Errorf("enforce: %v repeats function %v; unsupported", p, f)
+			}
+			seen[f] = true
+		}
+	}
+	n.cfg = cfg
+	tbl := policy.NewTable()
+	for _, p := range cfg.Policies {
+		tbl.AddPolicy(p)
+	}
+	if cfg.UseTrie {
+		n.classifier = policy.NewTrieClassifier(cfg.Policies)
+	} else {
+		n.classifier = tbl
+	}
+	n.flows = flowtable.NewTable(cfg.FlowTTL)
+	if !n.IsProxy {
+		n.labels = flowtable.NewLabelTable(cfg.LabelTTL)
+	}
+	return nil
+}
+
+// Config returns the installed configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// SetWeights replaces the node's LB weight vectors in place, preserving
+// flow/label soft state — this is the controller's periodic
+// reconfiguration path (§III-C: weights are recomputed as measurements
+// arrive).
+func (n *Node) SetWeights(w map[WeightKey][]float64) { n.cfg.Weights = w }
+
+// SetCandidates replaces the node's candidate sets in place (the
+// controller's repair path after a middlebox failure). Stale LB weights
+// are dropped at the same time: their vectors are parallel to the old
+// candidate lists and would misroute against the new ones.
+func (n *Node) SetCandidates(c map[policy.FuncType][]topo.NodeID) {
+	n.cfg.Candidates = c
+	n.cfg.Weights = nil
+}
+
+// SetStrategy switches the selection strategy in place (used by
+// experiments comparing HP/Rand/LB on identical state).
+func (n *Node) SetStrategy(s Strategy) { n.cfg.Strategy = s }
+
+// FlowTable exposes the node's flow hash table (for tests and stats).
+func (n *Node) FlowTable() *flowtable.Table { return n.flows }
+
+// LabelTable exposes the node's label table (nil on proxies).
+func (n *Node) LabelTable() *flowtable.LabelTable { return n.labels }
+
+// Measurements returns a copy of the proxy's per-policy traffic counts.
+func (n *Node) Measurements() map[MeasKey]int64 {
+	out := make(map[MeasKey]int64, len(n.meas))
+	for k, v := range n.meas {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetMeasurements clears the measurement counters (the controller
+// collects periodically; §III-C).
+func (n *Node) ResetMeasurements() {
+	n.meas = make(map[MeasKey]int64)
+}
+
+// SelectNext picks the middlebox that should perform function e on the
+// given flow, following the node's strategy. The flow tuple must be the
+// ORIGINAL flow 5-tuple (not a label-rewritten header), so the choice is
+// identical for every packet of the flow.
+func (n *Node) SelectNext(policyID int, e policy.FuncType, flow netaddr.FiveTuple) (topo.NodeID, error) {
+	cands := n.cfg.Candidates[e]
+	if len(cands) == 0 {
+		n.Counters.NoProvider++
+		return topo.InvalidNode, fmt.Errorf("enforce: node %v has no candidate middlebox for %v", n.ID, e)
+	}
+	switch n.cfg.Strategy {
+	case HotPotato:
+		return cands[0], nil
+	case Random:
+		h := flow.Hash(n.hashSeed() ^ 0xa5a5a5a5a5a5a5a5)
+		return cands[h%uint64(len(cands))], nil
+	case LoadBalanced:
+		w := n.lookupWeights(policyID, e, flow)
+		return pickWeighted(cands, w, flow.Hash(n.hashSeed())), nil
+	default:
+		return topo.InvalidNode, fmt.Errorf("enforce: node %v has no strategy installed", n.ID)
+	}
+}
+
+// hashSeed salts the configured seed with this node's identity. The salt
+// matters: if every hop hashed the flow with the same seed, the flows
+// reaching a middlebox would be exactly those whose hash fell inside the
+// upstream selection interval, so the downstream hash — the same value —
+// would be conditioned on that interval and the realized split would be
+// systematically skewed away from the configured weights. Per-node salts
+// make consecutive choices independent while staying deterministic per
+// flow, which is all §III-C requires.
+func (n *Node) hashSeed() uint64 {
+	// SplitMix64 finalizer over the node ID.
+	z := uint64(n.ID) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return n.cfg.HashSeed ^ z
+}
+
+// lookupWeights resolves the weight vector for (policy, function),
+// preferring the fine-grained (src, dst) key of Eq. (1) and falling back
+// to the aggregated Eq. (2) key, then to nil (uniform).
+func (n *Node) lookupWeights(policyID int, e policy.FuncType, flow netaddr.FiveTuple) []float64 {
+	if n.cfg.Weights == nil {
+		return nil
+	}
+	src := n.dep.SubnetIndexOf(flow.Src)
+	dst := n.dep.SubnetIndexOf(flow.Dst)
+	if w, ok := n.cfg.Weights[WeightKey{PolicyID: policyID, Func: e, SrcSubnet: src, DstSubnet: dst}]; ok {
+		return w
+	}
+	if w, ok := n.cfg.Weights[WeightKey{PolicyID: policyID, Func: e}]; ok {
+		return w
+	}
+	return nil
+}
+
+// pickWeighted implements the paper's hash-proportional selection: with
+// hash value r in [0, N), candidate y_i is chosen when r/N falls in the
+// cumulative weight interval of y_i. Nil/zero weights degrade to uniform.
+func pickWeighted(cands []topo.NodeID, weights []float64, hash uint64) topo.NodeID {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	var total float64
+	if len(weights) == len(cands) {
+		for _, w := range weights {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return cands[hash%uint64(len(cands))]
+	}
+	// Map hash to [0, 1) with 53-bit precision.
+	r := float64(hash>>11) / float64(1<<53) * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return cands[i]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// classify resolves a flow against the node's relevant policy set P_x via
+// the flow hash table (§III-D): table hit answers immediately, miss runs
+// the multi-field classifier and installs a (possibly null) entry.
+func (n *Node) classify(ft netaddr.FiveTuple, now int64) *flowtable.Entry {
+	if e, ok := n.flows.Lookup(ft, now); ok {
+		return e
+	}
+	n.Counters.Classified++
+	p := n.classifier.Match(ft)
+	if p == nil {
+		return n.flows.InsertNull(ft, now)
+	}
+	return n.flows.Insert(ft, p.ID, p.Actions, now)
+}
+
+// myFunc returns which function of the action list this node performs:
+// the earliest implemented one. ok is false if the node implements none
+// of them (a misdirected packet).
+func (n *Node) myFunc(a policy.ActionList) (policy.FuncType, bool) {
+	for _, f := range a {
+		if _, ok := n.Funcs[f]; ok {
+			return f, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,108 @@
+package enforce
+
+import (
+	"fmt"
+	"strings"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/route"
+	"sdme/internal/topo"
+)
+
+// TraceHop is one step of a flow's enforcement path.
+type TraceHop struct {
+	// Node is the middlebox chosen for this step.
+	Node topo.NodeID
+	// Func is the network function it performs on the flow.
+	Func policy.FuncType
+	// Cost is the routing distance from the previous step.
+	Cost float64
+	// Candidates are the options the selector chose from (M_x^e).
+	Candidates []topo.NodeID
+}
+
+// Trace describes the full journey of one flow under the current
+// configuration: which policy matched, which middleboxes the flow's
+// packets traverse and why, and the total path cost. It answers the
+// operator question "where will this flow actually go?" without sending
+// a packet.
+type Trace struct {
+	Flow netaddr.FiveTuple
+	// Policy is the matched policy, nil if the flow is unmatched.
+	Policy *policy.Policy
+	// Proxy is the source subnet's policy proxy.
+	Proxy topo.NodeID
+	Hops  []TraceHop
+	// TailCost is the distance from the last middlebox (or the proxy,
+	// for permit traffic) to the destination's edge router.
+	TailCost float64
+}
+
+// TotalCost sums the per-hop routing costs.
+func (tr *Trace) TotalCost() float64 {
+	total := tr.TailCost
+	for _, h := range tr.Hops {
+		total += h.Cost
+	}
+	return total
+}
+
+// String renders the trace for humans.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", tr.Flow)
+	if tr.Policy == nil {
+		b.WriteString(" [no policy: forwarded plain]")
+		return b.String()
+	}
+	fmt.Fprintf(&b, " [%s]", tr.Policy.Actions)
+	for _, h := range tr.Hops {
+		fmt.Fprintf(&b, " -> %s@node%d(+%.0f)", h.Func, h.Node, h.Cost)
+	}
+	fmt.Fprintf(&b, " -> dst(+%.0f) total %.0f", tr.TailCost, tr.TotalCost())
+	return b.String()
+}
+
+// TraceFlow computes the enforcement path one flow's packets will take
+// under the nodes' current strategy, weights and candidate sets. It uses
+// exactly the dataplane's SelectNext, so the answer matches what the
+// simulator and the live runtime do.
+func TraceFlow(nodes map[topo.NodeID]*Node, dep *Deployment, ap *route.AllPairs, ft netaddr.FiveTuple) (*Trace, error) {
+	srcSub := dep.SubnetIndexOf(ft.Src)
+	proxyID, ok := dep.ProxyFor(srcSub)
+	if !ok {
+		return nil, fmt.Errorf("enforce: no proxy for source subnet %d of %v", srcSub, ft)
+	}
+	proxy, ok := nodes[proxyID]
+	if !ok {
+		return nil, fmt.Errorf("enforce: proxy node %v not materialized", proxyID)
+	}
+	tr := &Trace{Flow: ft, Proxy: proxyID}
+	tr.Policy = proxy.classifier.Match(ft)
+
+	cur, curID := proxy, proxyID
+	if tr.Policy != nil && !tr.Policy.Actions.IsPermit() {
+		for _, e := range tr.Policy.Actions {
+			next, err := cur.SelectNext(tr.Policy.ID, e, ft)
+			if err != nil {
+				return nil, err
+			}
+			tr.Hops = append(tr.Hops, TraceHop{
+				Node:       next,
+				Func:       e,
+				Cost:       ap.Dist(curID, next),
+				Candidates: cur.cfg.Candidates[e],
+			})
+			cur, ok = nodes[next]
+			if !ok {
+				return nil, fmt.Errorf("enforce: middlebox node %v not materialized", next)
+			}
+			curID = next
+		}
+	}
+	if dstEdge := dep.Graph.SubnetOwner(ft.Dst); dstEdge != topo.InvalidNode {
+		tr.TailCost = ap.Dist(curID, dstEdge)
+	}
+	return tr, nil
+}

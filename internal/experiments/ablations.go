@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sdme/internal/controller"
+	"sdme/internal/enforce"
+	"sdme/internal/ospf"
+	"sdme/internal/policy"
+	"sdme/internal/sim"
+	"sdme/internal/topo"
+)
+
+// KAblationPoint reports LB quality for one candidate-set size.
+type KAblationPoint struct {
+	K int
+	// Lambda is the LP optimum (max expected load, uniform capacities).
+	Lambda float64
+	// RealizedMaxIDS is the realized maximum IDS load after hashing.
+	RealizedMaxIDS int64
+	// AvgPathCost captures the locality cost of larger k: farther
+	// candidates admit better balance but longer detours.
+	AvgPathCost float64
+}
+
+// RunCandidateKAblation sweeps the candidate-set size k (applied to every
+// function, capped by provider count) and reports the balance/locality
+// trade-off — the design choice DESIGN.md calls out (k=1 is hot-potato).
+func RunCandidateKAblation(cfg Config, traffic int, ks []int) ([]KAblationPoint, error) {
+	bed, err := NewBed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	demands := bed.GenerateDemands(traffic)
+	meas := controller.MeasurementsFromFlows(bed.Dep, bed.Table, demands)
+
+	var out []KAblationPoint
+	for _, k := range ks {
+		kmap := make(map[policy.FuncType]int, len(Funcs))
+		for _, f := range Funcs {
+			kmap[f] = k
+		}
+		ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{
+			Strategy: enforce.LoadBalanced, K: kmap, HashSeed: uint64(cfg.Seed) + uint64(k),
+		})
+		nodes, err := ctl.BuildNodes()
+		if err != nil {
+			return nil, err
+		}
+		sol, err := ctl.SolveLB(meas)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: k=%d: %w", k, err)
+		}
+		controller.ApplyWeights(nodes, sol)
+		report, err := enforce.EvaluateFlows(nodes, bed.Dep, bed.AllPairs, demands)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, KAblationPoint{
+			K:              k,
+			Lambda:         sol.Lambda,
+			RealizedMaxIDS: report.MaxLoad(bed.Dep, policy.FuncIDS),
+			AvgPathCost:    report.AvgPathCost(),
+		})
+	}
+	return out, nil
+}
+
+// StateAblation reports the effect of the §III-D flow table and §III-E
+// label switching, measured packet-by-packet in the simulator.
+type StateAblation struct {
+	LabelSwitching bool
+	// PacketsProcessed is total middlebox processing events.
+	PacketsProcessed int64
+	// Classifications is how many multi-field lookups ran; the flow
+	// table makes this ≈ flows × chain length instead of packets ×
+	// chain length.
+	Classifications int64
+	// TunnelTx / LabelTx split the transmissions by encapsulation.
+	TunnelTx, LabelTx int64
+	// EncapOverheadBytes is the extra wire bytes added by outer headers.
+	EncapOverheadBytes int64
+	// FragmentsCreated counts MTU-driven fragment packets.
+	FragmentsCreated int64
+	// ControlMessages counts §III-E confirmations.
+	ControlMessages int64
+	Delivered       int64
+}
+
+// RunStateAblation runs a packet-level simulation of `flows` flows ×
+// `packetsPerFlow` packets of `packetBytes` bytes on a small campus, with
+// label switching on or off, and reports the state-machinery effects.
+// Packet sizes near the MTU expose encapsulation-induced fragmentation.
+func RunStateAblation(seed int64, flows, packetsPerFlow, packetBytes int, labelSwitching bool) (*StateAblation, error) {
+	cfg := Config{Topology: "campus", Seed: seed, PoliciesPerClass: 2, TrafficPoints: []int{1}}
+	bed, err := NewBed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{
+		Strategy: enforce.HotPotato, K: bed.Cfg.K,
+		LabelSwitching: labelSwitching, HashSeed: uint64(seed),
+	})
+	nodes, err := ctl.BuildNodes()
+	if err != nil {
+		return nil, err
+	}
+	dom := ospf.NewDomain(bed.Graph)
+	dom.Converge()
+	nw := sim.New(bed.Graph, dom, bed.Dep, nodes)
+
+	demands := bed.GenerateDemands(flows) // ≈1 packet per flow target; resize below
+	if len(demands) > flows {
+		demands = demands[:flows]
+	}
+	for i, d := range demands {
+		// Space flows and packets so control messages can return between
+		// packets of a flow.
+		if err := nw.InjectFlow(d.Tuple, packetsPerFlow, packetBytes, int64(i)*37, 5000); err != nil {
+			return nil, err
+		}
+	}
+	nw.Run(0)
+
+	out := &StateAblation{LabelSwitching: labelSwitching}
+	s := nw.Stats()
+	out.FragmentsCreated = s.FragmentsCreated
+	out.ControlMessages = s.ControlMessages
+	out.Delivered = s.Delivered
+	for _, n := range nodes {
+		out.PacketsProcessed += n.Counters.Load
+		out.Classifications += n.Counters.Classified
+		out.TunnelTx += n.Counters.TunnelTx
+		out.LabelTx += n.Counters.LabelTx
+	}
+	out.EncapOverheadBytes = out.TunnelTx * 20
+	return out, nil
+}
+
+// FormulationComparison reports Eq. (1) vs Eq. (2) on one instance.
+type FormulationComparison struct {
+	AggLambda, FineLambda           float64
+	AggVars, FineVars               int
+	AggConstraints, FineConstraints int
+	AggIterations, FineIterations   int
+}
+
+// RunEq1VsEq2 solves both LP formulations on a reduced topology and
+// reports size and optimum — the paper's motivation for Eq. (2) is
+// exactly this variable-count reduction (§III-C).
+func RunEq1VsEq2(cfg Config, traffic int) (*FormulationComparison, error) {
+	bed, err := NewBed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	demands := bed.GenerateDemands(traffic)
+	meas := controller.MeasurementsFromFlows(bed.Dep, bed.Table, demands)
+	ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{
+		Strategy: enforce.LoadBalanced, K: bed.Cfg.K, HashSeed: uint64(cfg.Seed),
+	})
+	agg, err := ctl.SolveLB(meas)
+	if err != nil {
+		return nil, err
+	}
+	fine, err := ctl.SolveLBFine(meas)
+	if err != nil {
+		return nil, err
+	}
+	return &FormulationComparison{
+		AggLambda: agg.Lambda, FineLambda: fine.Lambda,
+		AggVars: agg.Vars, FineVars: fine.Vars,
+		AggConstraints: agg.Constraints, FineConstraints: fine.Constraints,
+		AggIterations: agg.Iterations, FineIterations: fine.Iterations,
+	}, nil
+}
+
+// StretchPoint reports the average per-packet path cost of a strategy
+// against the no-enforcement shortest-path baseline.
+type StretchPoint struct {
+	Strategy enforce.Strategy
+	// AvgPathCost is hops per packet including middlebox detours.
+	AvgPathCost float64
+	// Stretch is AvgPathCost / baseline shortest-path cost.
+	Stretch float64
+}
+
+// RunPathStretch quantifies the routing detour each enforcement strategy
+// imposes: every flow's routed path (source proxy → middlebox chain →
+// destination edge) versus the direct shortest path. The paper does not
+// evaluate latency; this ablation answers the natural follow-up question
+// and exposes the k trade-off from the other side of RunCandidateKAblation.
+func RunPathStretch(cfg Config, traffic int) (baselineCost float64, points []StretchPoint, err error) {
+	bed, err := NewBed(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	demands := bed.GenerateDemands(traffic)
+
+	// Baseline: per-packet shortest-path cost with no enforcement.
+	var base float64
+	var total int64
+	for _, d := range demands {
+		srcSub := bed.Dep.SubnetIndexOf(d.Tuple.Src)
+		proxyID, ok := bed.Dep.ProxyFor(srcSub)
+		if !ok {
+			continue
+		}
+		dstEdge := bed.Graph.SubnetOwner(d.Tuple.Dst)
+		if dstEdge == topo.InvalidNode {
+			continue
+		}
+		base += float64(d.Packets) * bed.AllPairs.Dist(proxyID, dstEdge)
+		total += d.Packets
+	}
+	if total > 0 {
+		base /= float64(total)
+	}
+
+	for _, s := range Strategies {
+		report, _, rerr := bed.RunStrategy(s, demands)
+		if rerr != nil {
+			return 0, nil, rerr
+		}
+		pt := StretchPoint{Strategy: s, AvgPathCost: report.AvgPathCost()}
+		if base > 0 {
+			pt.Stretch = pt.AvgPathCost / base
+		}
+		points = append(points, pt)
+	}
+	return base, points, nil
+}
+
+// StretchMarkdown renders the path-stretch ablation.
+func StretchMarkdown(baseline float64, points []StretchPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline (no enforcement): %.2f hops/packet\n\n", baseline)
+	b.WriteString("| strategy | avg path cost (hops/pkt) | stretch vs baseline |\n|---|---:|---:|\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %v | %.2f | %.2fx |\n", p.Strategy, p.AvgPathCost, p.Stretch)
+	}
+	return b.String()
+}
+
+// QueueAblation reports one strategy's latency under finite middlebox
+// capacity.
+type QueueAblation struct {
+	Strategy enforce.Strategy
+	// AvgLatencyUS / MaxLatencyUS are end-to-end delivery latencies.
+	AvgLatencyUS, MaxLatencyUS float64
+	// AvgQueueUS / MaxQueueUS are per-middlebox queueing waits.
+	AvgQueueUS, MaxQueueUS float64
+	Delivered              int64
+}
+
+// RunQueueingAblation gives every middlebox the same finite service rate
+// and pushes an identical packet-level workload through HP, Rand and LB.
+// Under hot-potato the hottest middlebox saturates and queues explode;
+// load balancing keeps every box under its service rate — the latency
+// meaning of the paper's min-max-λ objective, measured.
+func RunQueueingAblation(seed int64, flows, packetsPerFlow int, ratePPS float64) ([]QueueAblation, error) {
+	var out []QueueAblation
+	for _, strategy := range Strategies {
+		cfg := Config{Topology: "campus", Seed: seed, PoliciesPerClass: 2, TrafficPoints: []int{1}}
+		bed, err := NewBed(cfg)
+		if err != nil {
+			return nil, err
+		}
+		demands := bed.GenerateDemands(flows)
+		if len(demands) > flows {
+			demands = demands[:flows]
+		}
+		ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{
+			Strategy: strategy, K: bed.Cfg.K, HashSeed: uint64(seed),
+		})
+		nodes, err := ctl.BuildNodes()
+		if err != nil {
+			return nil, err
+		}
+		if strategy == enforce.LoadBalanced {
+			// Scale the per-flow demands to packet counts for measurement.
+			var meas = controller.Measurements{}
+			for _, d := range demands {
+				p := bed.Table.Match(d.Tuple)
+				if p == nil || p.Actions.IsPermit() {
+					continue
+				}
+				meas[enforce.MeasKey{
+					PolicyID:  p.ID,
+					SrcSubnet: bed.Dep.SubnetIndexOf(d.Tuple.Src),
+					DstSubnet: bed.Dep.SubnetIndexOf(d.Tuple.Dst),
+				}] += int64(packetsPerFlow)
+			}
+			sol, err := ctl.SolveLB(meas)
+			if err != nil {
+				return nil, err
+			}
+			controller.ApplyWeights(nodes, sol)
+		}
+		dom := ospf.NewDomain(bed.Graph)
+		dom.Converge()
+		nw := sim.New(bed.Graph, dom, bed.Dep, nodes)
+		for _, id := range bed.Dep.MBNodes {
+			nw.SetServiceRate(id, ratePPS)
+		}
+		for i, d := range demands {
+			if err := nw.InjectFlow(d.Tuple, packetsPerFlow, 256, int64(i)*17, 120); err != nil {
+				return nil, err
+			}
+		}
+		nw.Run(0)
+		s := nw.Stats()
+		out = append(out, QueueAblation{
+			Strategy:     strategy,
+			AvgLatencyUS: s.AvgLatencyUS(),
+			MaxLatencyUS: float64(s.LatencyMaxUS),
+			AvgQueueUS:   s.AvgQueueDelayUS(),
+			MaxQueueUS:   float64(s.QueueDelayMaxUS),
+			Delivered:    s.Delivered,
+		})
+	}
+	return out, nil
+}
+
+// QueueingMarkdown renders the queueing ablation.
+func QueueingMarkdown(points []QueueAblation) string {
+	var b strings.Builder
+	b.WriteString("| strategy | avg latency (µs) | max latency (µs) | avg queue wait (µs) | max queue wait (µs) |\n|---|---:|---:|---:|---:|\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %v | %.0f | %.0f | %.0f | %.0f |\n",
+			p.Strategy, p.AvgLatencyUS, p.MaxLatencyUS, p.AvgQueueUS, p.MaxQueueUS)
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFigureCSV emits a FigureResult as CSV: one row per traffic point,
+// one column per (function, strategy) pair — the series of Figures 4/5.
+func WriteFigureCSV(w io.Writer, res *FigureResult) error {
+	header := []string{"traffic"}
+	for _, f := range Funcs {
+		for _, s := range Strategies {
+			header = append(header, fmt.Sprintf("%s_%s_max", f, s))
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, pt := range res.Points {
+		row := []string{fmt.Sprintf("%d", pt.ActualTraffic)}
+		for _, f := range Funcs {
+			for _, s := range Strategies {
+				row = append(row, fmt.Sprintf("%d", pt.MaxLoad[f][s]))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FigureMarkdown renders a FigureResult as per-function markdown tables
+// (one per subplot of Figures 4/5).
+func FigureMarkdown(res *FigureResult) string {
+	var b strings.Builder
+	for _, f := range Funcs {
+		fmt.Fprintf(&b, "\n**Max load on a %s middlebox (%s topology)**\n\n", f, res.Topology)
+		b.WriteString("| traffic (pkts) | HP | Rand | LB |\n|---:|---:|---:|---:|\n")
+		for _, pt := range res.Points {
+			fmt.Fprintf(&b, "| %d | %d | %d | %d |\n",
+				pt.ActualTraffic,
+				pt.MaxLoad[f][Strategies[0]],
+				pt.MaxLoad[f][Strategies[1]],
+				pt.MaxLoad[f][Strategies[2]])
+		}
+	}
+	return b.String()
+}
+
+// TableMarkdown renders Table III rows in the paper's layout.
+func TableMarkdown(rows []TableRow) string {
+	var b strings.Builder
+	b.WriteString("| Middlebox | Hot-potato (HP) | Random (Rand) | Load-balance (LB) |\n")
+	b.WriteString("|---|---:|---:|---:|\n")
+	for _, r := range rows {
+		kind := "min."
+		if r.IsMax {
+			kind = "max."
+		}
+		fmt.Fprintf(&b, "| %s %s | %d | %d | %d |\n",
+			r.Func, kind,
+			r.ByStrat[Strategies[0]], r.ByStrat[Strategies[1]], r.ByStrat[Strategies[2]])
+	}
+	return b.String()
+}
+
+// WriteTableCSV emits Table III as CSV.
+func WriteTableCSV(w io.Writer, rows []TableRow) error {
+	if _, err := fmt.Fprintln(w, "middlebox,stat,hp,rand,lb"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		kind := "min"
+		if r.IsMax {
+			kind = "max"
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d\n",
+			r.Func, kind,
+			r.ByStrat[Strategies[0]], r.ByStrat[Strategies[1]], r.ByStrat[Strategies[2]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// KAblationMarkdown renders the candidate-set-size sweep.
+func KAblationMarkdown(points []KAblationPoint) string {
+	var b strings.Builder
+	b.WriteString("| k | λ (max expected load) | realized max IDS load | avg path cost |\n|---:|---:|---:|---:|\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "| %d | %.0f | %d | %.2f |\n", p.K, p.Lambda, p.RealizedMaxIDS, p.AvgPathCost)
+	}
+	return b.String()
+}
+
+// StateAblationMarkdown renders the flow-table / label-switching ablation
+// pair.
+func StateAblationMarkdown(off, on *StateAblation) string {
+	var b strings.Builder
+	b.WriteString("| metric | tunneling only | with label switching |\n|---|---:|---:|\n")
+	row := func(name string, a, bv int64) { fmt.Fprintf(&b, "| %s | %d | %d |\n", name, a, bv) }
+	row("middlebox packets processed", off.PacketsProcessed, on.PacketsProcessed)
+	row("multi-field classifications", off.Classifications, on.Classifications)
+	row("IP-over-IP transmissions", off.TunnelTx, on.TunnelTx)
+	row("label-switched transmissions", off.LabelTx, on.LabelTx)
+	row("encapsulation overhead (bytes)", off.EncapOverheadBytes, on.EncapOverheadBytes)
+	row("fragments created", off.FragmentsCreated, on.FragmentsCreated)
+	row("control messages", off.ControlMessages, on.ControlMessages)
+	row("delivered", off.Delivered, on.Delivered)
+	return b.String()
+}
+
+// FormulationMarkdown renders the Eq. (1) vs Eq. (2) comparison.
+func FormulationMarkdown(c *FormulationComparison) string {
+	var b strings.Builder
+	b.WriteString("| metric | Eq. (2) aggregated | Eq. (1) fine-grained |\n|---|---:|---:|\n")
+	fmt.Fprintf(&b, "| λ | %.1f | %.1f |\n", c.AggLambda, c.FineLambda)
+	fmt.Fprintf(&b, "| variables | %d | %d |\n", c.AggVars, c.FineVars)
+	fmt.Fprintf(&b, "| constraints | %d | %d |\n", c.AggConstraints, c.FineConstraints)
+	fmt.Fprintf(&b, "| simplex iterations | %d | %d |\n", c.AggIterations, c.FineIterations)
+	return b.String()
+}

@@ -1,0 +1,258 @@
+// Package flowtable implements the two per-node soft-state tables the
+// paper adds to proxies and middleboxes:
+//
+//   - the flow hash table of §III-D, mapping a 5-tuple to its resolved
+//     action list so the multi-field policy lookup runs at most once per
+//     flow — including negative ("null") entries for flows that match no
+//     policy;
+//   - the label table of §III-E, mapping ⟨source address | label⟩ to the
+//     action list (plus, at the chain's last middlebox, the flow's real
+//     destination) so subsequent packets can be label-switched without an
+//     outer IP header.
+//
+// Both tables are soft state: entries expire after a TTL without hits.
+// Time is an explicit int64 tick supplied by the caller, so the same code
+// runs under the discrete-event simulator's virtual clock and the live
+// runtime's wall clock.
+package flowtable
+
+import (
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+)
+
+// Entry is one flow-table record. Null entries cache "no policy matched".
+type Entry struct {
+	Flow     netaddr.FiveTuple
+	PolicyID int
+	Actions  policy.ActionList
+	Null     bool
+	// Label is the locally unique label the proxy assigned to the flow
+	// (0 = none allocated).
+	Label uint16
+	// LabelSwitched is flipped when the tail middlebox's control packet
+	// arrives; from then on packets are label-switched, not tunneled.
+	LabelSwitched bool
+	lastHit       int64
+}
+
+// Stats counts table activity; the §III-D ablation benchmark reads these.
+type Stats struct {
+	Hits, Misses, NullHits int
+	Inserted, Expired      int
+}
+
+// Table is the flow hash table. Not safe for concurrent use; each node
+// owns one and drives it from its own event loop.
+type Table struct {
+	ttl       int64
+	entries   map[netaddr.FiveTuple]*Entry
+	nextLabel uint16
+	stats     Stats
+}
+
+// NewTable creates a table whose entries expire ttl ticks after their
+// last hit. ttl <= 0 disables expiry.
+func NewTable(ttl int64) *Table {
+	return &Table{ttl: ttl, entries: make(map[netaddr.FiveTuple]*Entry)}
+}
+
+// Lookup returns the live entry for ft, refreshing its TTL. Expired
+// entries are removed and reported as misses.
+func (t *Table) Lookup(ft netaddr.FiveTuple, now int64) (*Entry, bool) {
+	e, ok := t.entries[ft]
+	if !ok {
+		t.stats.Misses++
+		return nil, false
+	}
+	if t.expired(e, now) {
+		delete(t.entries, ft)
+		t.stats.Expired++
+		t.stats.Misses++
+		return nil, false
+	}
+	e.lastHit = now
+	if e.Null {
+		t.stats.NullHits++
+	} else {
+		t.stats.Hits++
+	}
+	return e, true
+}
+
+func (t *Table) expired(e *Entry, now int64) bool {
+	return t.ttl > 0 && now-e.lastHit > t.ttl
+}
+
+// Insert records the resolved policy for a flow and returns the entry.
+func (t *Table) Insert(ft netaddr.FiveTuple, policyID int, actions policy.ActionList, now int64) *Entry {
+	e := &Entry{Flow: ft, PolicyID: policyID, Actions: actions, lastHit: now}
+	t.entries[ft] = e
+	t.stats.Inserted++
+	return e
+}
+
+// InsertNull records that no policy matches the flow, so subsequent
+// packets skip classification entirely (§III-D's ⟨f, null⟩ entries).
+func (t *Table) InsertNull(ft netaddr.FiveTuple, now int64) *Entry {
+	e := &Entry{Flow: ft, Null: true, lastHit: now}
+	t.entries[ft] = e
+	t.stats.Inserted++
+	return e
+}
+
+// AllocLabel assigns the entry a label that is unique among live entries
+// of this table, per §III-E ("locally unique"). It returns 0 only when
+// all 65535 labels are in use.
+func (t *Table) AllocLabel(e *Entry) uint16 {
+	if e.Label != 0 {
+		return e.Label
+	}
+	inUse := make(map[uint16]bool, len(t.entries))
+	for _, other := range t.entries {
+		if other.Label != 0 {
+			inUse[other.Label] = true
+		}
+	}
+	for i := 0; i < 0xffff; i++ {
+		t.nextLabel++
+		if t.nextLabel == 0 {
+			t.nextLabel = 1
+		}
+		if !inUse[t.nextLabel] {
+			e.Label = t.nextLabel
+			return e.Label
+		}
+	}
+	return 0
+}
+
+// FlagLabelSwitched marks the flow's entry for label switching (called
+// when the proxy receives the tail middlebox's control packet). It
+// reports whether the flow was found.
+func (t *Table) FlagLabelSwitched(ft netaddr.FiveTuple, now int64) bool {
+	e, ok := t.entries[ft]
+	if !ok || t.expired(e, now) {
+		return false
+	}
+	e.LabelSwitched = true
+	e.lastHit = now
+	return true
+}
+
+// Sweep removes all expired entries and returns how many it evicted;
+// nodes run it periodically so idle flows do not accumulate.
+func (t *Table) Sweep(now int64) int {
+	n := 0
+	for ft, e := range t.entries {
+		if t.expired(e, now) {
+			delete(t.entries, ft)
+			n++
+		}
+	}
+	t.stats.Expired += n
+	return n
+}
+
+// Len returns the number of stored entries, including expired ones not
+// yet swept.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// LabelKey identifies a label-table entry: the paper's ⟨src | l⟩
+// concatenation (§III-E). Src is the ORIGINAL flow's source address (kept
+// as the outer tunnel source along the whole chain), which is what makes
+// labels from different proxies collision-free at a shared middlebox.
+type LabelKey struct {
+	Src   netaddr.Addr
+	Label uint16
+}
+
+// LabelEntry is one label-table record at a middlebox.
+type LabelEntry struct {
+	Key      LabelKey
+	PolicyID int
+	Actions  policy.ActionList
+	// Flow is the flow's ORIGINAL 5-tuple, recorded when the first
+	// (tunneled) packet installed the entry. Label-switched packets have
+	// their destination address rewritten hop by hop, so the original
+	// tuple must come from here for hash-based next-hop selection to
+	// stay consistent with the first packet's choices.
+	Flow netaddr.FiveTuple
+	// Dst is the flow's real destination, recorded only at the last
+	// middlebox of the chain (HasDst true) so it can restore the
+	// destination address before final forwarding.
+	Dst     netaddr.Addr
+	HasDst  bool
+	lastHit int64
+}
+
+// LabelTable is the per-middlebox label-switching table.
+type LabelTable struct {
+	ttl     int64
+	entries map[LabelKey]*LabelEntry
+	stats   Stats
+}
+
+// NewLabelTable creates a label table with the given TTL (<= 0 disables
+// expiry).
+func NewLabelTable(ttl int64) *LabelTable {
+	return &LabelTable{ttl: ttl, entries: make(map[LabelKey]*LabelEntry)}
+}
+
+// Lookup returns the live entry for the key, refreshing its TTL.
+func (t *LabelTable) Lookup(k LabelKey, now int64) (*LabelEntry, bool) {
+	e, ok := t.entries[k]
+	if !ok {
+		t.stats.Misses++
+		return nil, false
+	}
+	if t.ttl > 0 && now-e.lastHit > t.ttl {
+		delete(t.entries, k)
+		t.stats.Expired++
+		t.stats.Misses++
+		return nil, false
+	}
+	e.lastHit = now
+	t.stats.Hits++
+	return e, true
+}
+
+// Insert records ⟨src|l, actions⟩, the per-hop state installed while the
+// first packet of a flow traverses the chain. flow is the original
+// 5-tuple of the flow (see LabelEntry.Flow).
+func (t *LabelTable) Insert(k LabelKey, policyID int, actions policy.ActionList, flow netaddr.FiveTuple, now int64) *LabelEntry {
+	e := &LabelEntry{Key: k, PolicyID: policyID, Actions: actions, Flow: flow, lastHit: now}
+	t.entries[k] = e
+	t.stats.Inserted++
+	return e
+}
+
+// InsertTail records ⟨src|l, actions, dst⟩ at the chain's last middlebox.
+func (t *LabelTable) InsertTail(k LabelKey, policyID int, actions policy.ActionList, flow netaddr.FiveTuple, now int64) *LabelEntry {
+	e := t.Insert(k, policyID, actions, flow, now)
+	e.Dst = flow.Dst
+	e.HasDst = true
+	return e
+}
+
+// Sweep removes expired entries and returns the eviction count.
+func (t *LabelTable) Sweep(now int64) int {
+	n := 0
+	for k, e := range t.entries {
+		if t.ttl > 0 && now-e.lastHit > t.ttl {
+			delete(t.entries, k)
+			n++
+		}
+	}
+	t.stats.Expired += n
+	return n
+}
+
+// Len returns the number of stored entries.
+func (t *LabelTable) Len() int { return len(t.entries) }
+
+// Stats returns a copy of the activity counters.
+func (t *LabelTable) Stats() Stats { return t.stats }

@@ -1,0 +1,255 @@
+package flowtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+)
+
+func ft(n uint32) netaddr.FiveTuple {
+	return netaddr.FiveTuple{
+		Src: netaddr.Addr(n), Dst: netaddr.Addr(n + 1),
+		SrcPort: uint16(n), DstPort: 80, Proto: netaddr.ProtoTCP,
+	}
+}
+
+var actFWIDS = policy.ActionList{policy.FuncFW, policy.FuncIDS}
+
+func TestInsertLookup(t *testing.T) {
+	tbl := NewTable(100)
+	if _, ok := tbl.Lookup(ft(1), 0); ok {
+		t.Fatal("lookup on empty table should miss")
+	}
+	tbl.Insert(ft(1), 7, actFWIDS, 0)
+	e, ok := tbl.Lookup(ft(1), 10)
+	if !ok || e.PolicyID != 7 || !e.Actions.Equal(actFWIDS) || e.Null {
+		t.Fatalf("entry = %+v, ok=%v", e, ok)
+	}
+	s := tbl.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Inserted != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestNullEntry(t *testing.T) {
+	tbl := NewTable(100)
+	tbl.InsertNull(ft(2), 0)
+	e, ok := tbl.Lookup(ft(2), 5)
+	if !ok || !e.Null {
+		t.Fatalf("null entry = %+v, ok=%v", e, ok)
+	}
+	if tbl.Stats().NullHits != 1 || tbl.Stats().Hits != 0 {
+		t.Errorf("stats = %+v", tbl.Stats())
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	tbl := NewTable(100)
+	tbl.Insert(ft(1), 1, actFWIDS, 0)
+	if _, ok := tbl.Lookup(ft(1), 100); !ok {
+		t.Fatal("entry at exactly TTL should live")
+	}
+	// Lookup refreshed lastHit to 100, so the entry lives until 200.
+	if _, ok := tbl.Lookup(ft(1), 201); ok {
+		t.Fatal("entry should expire 100 ticks after last hit")
+	}
+	if tbl.Len() != 0 {
+		t.Error("expired entry should be deleted on lookup")
+	}
+	if tbl.Stats().Expired != 1 {
+		t.Errorf("stats = %+v", tbl.Stats())
+	}
+}
+
+func TestTTLDisabled(t *testing.T) {
+	tbl := NewTable(0)
+	tbl.Insert(ft(1), 1, actFWIDS, 0)
+	if _, ok := tbl.Lookup(ft(1), 1<<60); !ok {
+		t.Error("ttl<=0 must disable expiry")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	tbl := NewTable(10)
+	for i := uint32(0); i < 5; i++ {
+		tbl.Insert(ft(i), int(i), actFWIDS, int64(i))
+	}
+	// At now=12, entries with lastHit 0 and 1 are expired (>10 old).
+	if n := tbl.Sweep(12); n != 2 {
+		t.Errorf("Sweep evicted %d, want 2", n)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tbl.Len())
+	}
+}
+
+func TestAllocLabelUnique(t *testing.T) {
+	tbl := NewTable(0)
+	seen := map[uint16]bool{}
+	for i := uint32(0); i < 1000; i++ {
+		e := tbl.Insert(ft(i), 0, actFWIDS, 0)
+		l := tbl.AllocLabel(e)
+		if l == 0 {
+			t.Fatal("label allocation failed")
+		}
+		if seen[l] {
+			t.Fatalf("duplicate label %d", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestAllocLabelIdempotent(t *testing.T) {
+	tbl := NewTable(0)
+	e := tbl.Insert(ft(1), 0, actFWIDS, 0)
+	l1 := tbl.AllocLabel(e)
+	l2 := tbl.AllocLabel(e)
+	if l1 != l2 {
+		t.Errorf("AllocLabel not idempotent: %d then %d", l1, l2)
+	}
+}
+
+func TestAllocLabelReusesAfterExpiry(t *testing.T) {
+	tbl := NewTable(10)
+	e := tbl.Insert(ft(1), 0, actFWIDS, 0)
+	l := tbl.AllocLabel(e)
+	tbl.Sweep(100) // expire the flow
+	e2 := tbl.Insert(ft(2), 0, actFWIDS, 100)
+	// The freed label must eventually be allocatable again; allocate
+	// until wrap-around would hit it.
+	for i := 0; i < 0x10000; i++ {
+		got := tbl.AllocLabel(e2)
+		if got == l {
+			return
+		}
+		e2.Label = 0 // force a fresh allocation on the same entry
+	}
+	t.Errorf("label %d never reused after expiry", l)
+}
+
+func TestFlagLabelSwitched(t *testing.T) {
+	tbl := NewTable(100)
+	e := tbl.Insert(ft(1), 0, actFWIDS, 0)
+	if e.LabelSwitched {
+		t.Fatal("fresh entry should not be label-switched")
+	}
+	if !tbl.FlagLabelSwitched(ft(1), 5) {
+		t.Fatal("flagging existing flow should succeed")
+	}
+	if !e.LabelSwitched {
+		t.Error("entry not flagged")
+	}
+	if tbl.FlagLabelSwitched(ft(99), 5) {
+		t.Error("flagging unknown flow should fail")
+	}
+	// Flagging an expired flow fails too.
+	tbl.Insert(ft(2), 0, actFWIDS, 0)
+	if tbl.FlagLabelSwitched(ft(2), 500) {
+		t.Error("flagging expired flow should fail")
+	}
+}
+
+func TestLabelTableBasics(t *testing.T) {
+	lt := NewLabelTable(100)
+	k := LabelKey{Src: netaddr.MustParseAddr("10.1.0.5"), Label: 42}
+	if _, ok := lt.Lookup(k, 0); ok {
+		t.Fatal("empty table should miss")
+	}
+	lt.Insert(k, 3, actFWIDS, ft(1), 0)
+	e, ok := lt.Lookup(k, 10)
+	if !ok || e.PolicyID != 3 || e.HasDst {
+		t.Fatalf("entry = %+v, ok=%v", e, ok)
+	}
+
+	// Tail entry carries the destination.
+	k2 := LabelKey{Src: k.Src, Label: 43}
+	dst := netaddr.MustParseAddr("8.8.8.8")
+	lt.InsertTail(k2, 3, actFWIDS, netaddr.FiveTuple{Src: k.Src, Dst: dst}, 0)
+	e2, ok := lt.Lookup(k2, 10)
+	if !ok || !e2.HasDst || e2.Dst != dst {
+		t.Fatalf("tail entry = %+v, ok=%v", e2, ok)
+	}
+	if lt.Len() != 2 {
+		t.Errorf("Len = %d", lt.Len())
+	}
+}
+
+func TestLabelTableKeyIsolation(t *testing.T) {
+	// Same label from two different source proxies must not collide —
+	// that is why the key is ⟨src | l⟩.
+	lt := NewLabelTable(0)
+	a := LabelKey{Src: netaddr.MustParseAddr("10.1.0.2"), Label: 7}
+	b := LabelKey{Src: netaddr.MustParseAddr("10.2.0.2"), Label: 7}
+	lt.Insert(a, 1, actFWIDS, ft(1), 0)
+	lt.Insert(b, 2, policy.ActionList{policy.FuncIDS}, ft(2), 0)
+	ea, _ := lt.Lookup(a, 0)
+	eb, _ := lt.Lookup(b, 0)
+	if ea.PolicyID == eb.PolicyID {
+		t.Error("entries for different sources collided")
+	}
+}
+
+func TestLabelTableExpiry(t *testing.T) {
+	lt := NewLabelTable(50)
+	k := LabelKey{Src: 1, Label: 1}
+	lt.Insert(k, 0, actFWIDS, ft(1), 0)
+	if _, ok := lt.Lookup(k, 100); ok {
+		t.Error("expired label entry returned")
+	}
+	lt.Insert(k, 0, actFWIDS, ft(1), 100)
+	if n := lt.Sweep(200); n != 1 {
+		t.Errorf("Sweep = %d, want 1", n)
+	}
+	if lt.Stats().Expired != 2 {
+		t.Errorf("stats = %+v", lt.Stats())
+	}
+}
+
+func TestLookupRefreshProperty(t *testing.T) {
+	// Property: a flow looked up at least every ttl ticks never expires.
+	f := func(steps []uint8) bool {
+		const ttl = 50
+		tbl := NewTable(ttl)
+		tbl.Insert(ft(1), 0, actFWIDS, 0)
+		now := int64(0)
+		for _, s := range steps {
+			now += int64(s % ttl) // every gap < ttl
+			if _, ok := tbl.Lookup(ft(1), now); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFlowTableLookup(b *testing.B) {
+	tbl := NewTable(1 << 40)
+	for i := uint32(0); i < 10000; i++ {
+		tbl.Insert(ft(i), int(i), actFWIDS, 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Lookup(ft(uint32(i)%10000), int64(i)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkLabelTableLookup(b *testing.B) {
+	lt := NewLabelTable(1 << 40)
+	for i := 0; i < 10000; i++ {
+		lt.Insert(LabelKey{Src: netaddr.Addr(i), Label: uint16(i)}, i, actFWIDS, ft(uint32(i)), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := LabelKey{Src: netaddr.Addr(i % 10000), Label: uint16(i % 10000)}
+		if _, ok := lt.Lookup(k, int64(i)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"sdme/internal/topo"
+)
+
+// HealthMonitor watches the runtime's devices the way the paper's
+// controller would watch its middleboxes: each device answers a liveness
+// probe through the same query channel its dataplane loop serves, so a
+// wedged or stopped device misses probes and is reported down. The
+// controller side pairs this with MarkFailed + Reassign to complete the
+// dependability loop.
+type HealthMonitor struct {
+	rt       *Runtime
+	interval time.Duration
+	misses   int
+
+	mu     sync.Mutex
+	down   map[topo.NodeID]bool
+	missed map[topo.NodeID]int
+	onDown func(topo.NodeID)
+	onUp   func(topo.NodeID)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewHealthMonitor creates a monitor probing every device at the given
+// interval; a device is declared down after `misses` consecutive missed
+// probes and up again after one answered probe. Callbacks (optional) fire
+// from the monitor goroutine.
+func (r *Runtime) NewHealthMonitor(interval time.Duration, misses int, onDown, onUp func(topo.NodeID)) *HealthMonitor {
+	if misses < 1 {
+		misses = 1
+	}
+	return &HealthMonitor{
+		rt:       r,
+		interval: interval,
+		misses:   misses,
+		down:     make(map[topo.NodeID]bool),
+		missed:   make(map[topo.NodeID]int),
+		onDown:   onDown,
+		onUp:     onUp,
+		stop:     make(chan struct{}),
+	}
+}
+
+// Start launches the probe loop.
+func (m *HealthMonitor) Start() {
+	m.wg.Add(1)
+	go m.loop()
+}
+
+// Stop halts the probe loop and waits for it.
+func (m *HealthMonitor) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+}
+
+// Down returns the currently down devices in ID order.
+func (m *HealthMonitor) Down() []topo.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]topo.NodeID, 0, len(m.down))
+	for id, d := range m.down {
+		if d {
+			out = append(out, id)
+		}
+	}
+	return topo.SortedIDs(out)
+}
+
+// IsDown reports one device's state.
+func (m *HealthMonitor) IsDown(id topo.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down[id]
+}
+
+func (m *HealthMonitor) loop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.probeAll()
+		}
+	}
+}
+
+func (m *HealthMonitor) probeAll() {
+	for _, d := range m.rt.devices {
+		alive := d.probe(m.interval)
+		id := d.Node.ID
+		m.mu.Lock()
+		if alive {
+			m.missed[id] = 0
+			if m.down[id] {
+				m.down[id] = false
+				if m.onUp != nil {
+					m.mu.Unlock()
+					m.onUp(id)
+					m.mu.Lock()
+				}
+			}
+		} else {
+			m.missed[id]++
+			if m.missed[id] >= m.misses && !m.down[id] {
+				m.down[id] = true
+				if m.onDown != nil {
+					m.mu.Unlock()
+					m.onDown(id)
+					m.mu.Lock()
+				}
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// probe asks the device loop to answer within the timeout; a live loop
+// services the query channel between reads.
+func (d *Device) probe(timeout time.Duration) bool {
+	resp := make(chan struct{}, 1)
+	select {
+	case d.health <- resp:
+	case <-time.After(timeout):
+		return false
+	case <-d.done:
+		return false
+	}
+	select {
+	case <-resp:
+		return true
+	case <-time.After(timeout):
+		return false
+	case <-d.done:
+		return false
+	}
+}
+
+// Stop halts one device's loop without closing the whole runtime — the
+// failure-injection hook for tests and demos.
+func (d *Device) Stop() { d.stop() }

@@ -1,0 +1,464 @@
+// Package live runs the enforcement dataplane over real UDP sockets on
+// the loopback interface: every proxy and middlebox is a goroutine with
+// its own socket, IP-over-IP tunnels are actual encapsulated datagrams,
+// and label-switched packets are actual shorter datagrams. The model
+// addresses (10.x.., 172.31..) are mapped to 127.0.0.1:port endpoints by
+// a fabric table that plays the role of the routed underlay.
+//
+// The same enforce.Node code runs here and in the discrete-event
+// simulator; this package exists to demonstrate that the design is a
+// deployable system, not only a simulation artifact.
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdme/internal/enforce"
+	"sdme/internal/netaddr"
+	"sdme/internal/packet"
+)
+
+// Frame types on the wire: one leading byte before the payload.
+const (
+	frameData    = 0x01
+	frameControl = 0x02
+)
+
+// marshalControl encodes a §III-E control message: the flow 5-tuple.
+func marshalControl(flow netaddr.FiveTuple) []byte {
+	out := make([]byte, 1+13)
+	out[0] = frameControl
+	binary.BigEndian.PutUint32(out[1:], uint32(flow.Src))
+	binary.BigEndian.PutUint32(out[5:], uint32(flow.Dst))
+	binary.BigEndian.PutUint16(out[9:], flow.SrcPort)
+	binary.BigEndian.PutUint16(out[11:], flow.DstPort)
+	out[13] = flow.Proto
+	return out
+}
+
+func unmarshalControl(b []byte) (netaddr.FiveTuple, error) {
+	if len(b) < 13 {
+		return netaddr.FiveTuple{}, fmt.Errorf("live: control frame too short (%d)", len(b))
+	}
+	return netaddr.FiveTuple{
+		Src:     netaddr.Addr(binary.BigEndian.Uint32(b[0:])),
+		Dst:     netaddr.Addr(binary.BigEndian.Uint32(b[4:])),
+		SrcPort: binary.BigEndian.Uint16(b[8:]),
+		DstPort: binary.BigEndian.Uint16(b[10:]),
+		Proto:   b[12],
+	}, nil
+}
+
+// Runtime owns the fabric (address → UDP endpoint map) and the devices.
+type Runtime struct {
+	mu        sync.RWMutex
+	endpoints map[netaddr.Addr]*net.UDPAddr
+	devices   []*Device
+	sinks     []*Sink
+	start     time.Time
+	// Blackholed counts datagrams addressed to unmapped addresses.
+	Blackholed atomic.Int64
+	// Dropped counts datagrams discarded by injected loss.
+	Dropped atomic.Int64
+	// lossNum/lossDen encode the loss probability as a rational so the
+	// hot path needs no float math or locking; lossSeq drives a cheap
+	// deterministic sequence.
+	lossNum, lossDen atomic.Int64
+	lossSeq          atomic.Int64
+}
+
+// NewRuntime creates an empty runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{
+		endpoints: make(map[netaddr.Addr]*net.UDPAddr),
+		start:     time.Now(),
+	}
+}
+
+// now returns microseconds since runtime start (the dataplane's tick).
+func (r *Runtime) now() int64 { return time.Since(r.start).Microseconds() }
+
+// register maps a model address to a UDP endpoint.
+func (r *Runtime) register(a netaddr.Addr, ep *net.UDPAddr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.endpoints[a] = ep
+}
+
+// lookup resolves a model address.
+func (r *Runtime) lookup(a netaddr.Addr) (*net.UDPAddr, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ep, ok := r.endpoints[a]
+	return ep, ok
+}
+
+// Close stops every device and sink.
+func (r *Runtime) Close() {
+	for _, d := range r.devices {
+		d.stop()
+	}
+	for _, s := range r.sinks {
+		s.stop()
+	}
+}
+
+// Device wraps one enforcement node and its socket.
+type Device struct {
+	Node *enforce.Node
+	rt   *Runtime
+	conn *net.UDPConn
+	done chan struct{}
+	wg   sync.WaitGroup
+	// queries serializes counter reads through the device loop so tests
+	// never race with the dataplane goroutine.
+	queries chan chan enforce.Counters
+	// health receives liveness probes, answered by the loop between
+	// reads (see HealthMonitor).
+	health chan chan struct{}
+	// commands runs node mutations inside the loop goroutine (see Do).
+	commands chan func()
+	// Errors counts dataplane errors observed by the loop.
+	Errors atomic.Int64
+}
+
+// AddDevice opens a loopback socket for the node, registers its address
+// and starts its receive loop. Proxies treat arriving data frames as
+// outbound subnet traffic; middleboxes treat them as chain arrivals.
+func (r *Runtime) AddDevice(n *enforce.Node) (*Device, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("live: listen for node %v: %w", n.ID, err)
+	}
+	d := &Device{
+		Node:     n,
+		rt:       r,
+		conn:     conn,
+		done:     make(chan struct{}),
+		queries:  make(chan chan enforce.Counters),
+		health:   make(chan chan struct{}),
+		commands: make(chan func()),
+	}
+	r.register(n.Addr, conn.LocalAddr().(*net.UDPAddr))
+	r.devices = append(r.devices, d)
+	d.wg.Add(1)
+	go d.loop()
+	return d, nil
+}
+
+// Counters returns a consistent snapshot of the node's counters, taken
+// by the device's own goroutine.
+func (d *Device) Counters() enforce.Counters {
+	resp := make(chan enforce.Counters, 1)
+	select {
+	case d.queries <- resp:
+		return <-resp
+	case <-d.done:
+		// Loop stopped; safe to read directly.
+		return d.Node.Counters
+	}
+}
+
+// Do runs fn inside the device's loop goroutine and waits for it — the
+// race-free way to reconfigure a live node (the controller's repair and
+// rebalance paths use it). It reports false if the device has stopped,
+// in which case fn did not run.
+func (d *Device) Do(fn func(n *enforce.Node)) bool {
+	done := make(chan struct{})
+	wrapped := func() {
+		fn(d.Node)
+		close(done)
+	}
+	select {
+	case d.commands <- wrapped:
+		<-done
+		return true
+	case <-d.done:
+		return false
+	}
+}
+
+func (d *Device) stop() {
+	select {
+	case <-d.done:
+	default:
+		close(d.done)
+	}
+	_ = d.conn.Close()
+	d.wg.Wait()
+}
+
+func (d *Device) loop() {
+	defer d.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-d.done:
+			return
+		case resp := <-d.queries:
+			resp <- d.Node.Counters
+			continue
+		case resp := <-d.health:
+			resp <- struct{}{}
+			continue
+		case fn := <-d.commands:
+			fn()
+			continue
+		default:
+		}
+		if err := d.conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond)); err != nil {
+			return
+		}
+		n, _, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return // socket closed
+		}
+		if n < 1 {
+			continue
+		}
+		d.handleFrame(buf[:n])
+	}
+}
+
+func (d *Device) handleFrame(frame []byte) {
+	now := d.rt.now()
+	fwd := &udpForwarder{rt: d.rt}
+	switch frame[0] {
+	case frameData:
+		pkt, err := packet.Unmarshal(frame[1:])
+		if err != nil {
+			d.Errors.Add(1)
+			return
+		}
+		if d.Node.IsProxy {
+			err = d.Node.HandleOutbound(pkt, now, fwd)
+		} else {
+			err = d.Node.HandleArrival(pkt, now, fwd)
+		}
+		if err != nil {
+			d.Errors.Add(1)
+		}
+	case frameControl:
+		flow, err := unmarshalControl(frame[1:])
+		if err != nil {
+			d.Errors.Add(1)
+			return
+		}
+		d.Node.HandleControl(flow, now)
+	default:
+		d.Errors.Add(1)
+	}
+}
+
+// udpForwarder sends dataplane output onto the fabric.
+type udpForwarder struct {
+	rt *Runtime
+}
+
+var _ enforce.Forwarder = (*udpForwarder)(nil)
+
+func (f *udpForwarder) Send(from *enforce.Node, pkt *packet.Packet) {
+	dst := pkt.OutermostDst()
+	ep, ok := f.rt.lookup(dst)
+	if !ok {
+		f.rt.Blackholed.Add(1)
+		return
+	}
+	frame := append([]byte{frameData}, pkt.Marshal()...)
+	f.rt.sendTo(ep, frame)
+}
+
+func (f *udpForwarder) SendControl(from *enforce.Node, to netaddr.Addr, flow netaddr.FiveTuple) {
+	ep, ok := f.rt.lookup(to)
+	if !ok {
+		f.rt.Blackholed.Add(1)
+		return
+	}
+	f.rt.sendTo(ep, marshalControl(flow))
+}
+
+// SetLossRate makes the fabric drop approximately num/den of data
+// datagrams (deterministically interleaved), emulating an unreliable
+// underlay. Control frames are subject to the same loss — §III-E's
+// control message is soft state and the design must survive losing it.
+func (r *Runtime) SetLossRate(num, den int64) {
+	if den <= 0 || num < 0 {
+		num, den = 0, 1
+	}
+	r.lossNum.Store(num)
+	r.lossDen.Store(den)
+}
+
+// shouldDrop implements the deterministic loss sequence: of every `den`
+// consecutive sends, the first `num` are dropped.
+func (r *Runtime) shouldDrop() bool {
+	den := r.lossDen.Load()
+	num := r.lossNum.Load()
+	if num == 0 || den <= 0 {
+		return false
+	}
+	seq := r.lossSeq.Add(1)
+	return seq%den < num
+}
+
+// sendTo fires one datagram from an ephemeral socket.
+func (r *Runtime) sendTo(ep *net.UDPAddr, frame []byte) {
+	if r.shouldDrop() {
+		r.Dropped.Add(1)
+		return
+	}
+	conn, err := net.DialUDP("udp4", nil, ep)
+	if err != nil {
+		r.Blackholed.Add(1)
+		return
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame); err != nil {
+		r.Blackholed.Add(1)
+	}
+}
+
+// Sink is a destination endpoint: it accepts data frames for one or more
+// model addresses and records what it received.
+type Sink struct {
+	rt   *Runtime
+	conn *net.UDPConn
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	byFlow   map[netaddr.FiveTuple]int
+	byAddr   map[netaddr.Addr]int
+	received int
+	encaps   int
+	labeled  int
+}
+
+// AddSink opens a sink socket serving the given model addresses.
+func (r *Runtime) AddSink(addrs ...netaddr.Addr) (*Sink, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("live: listen sink: %w", err)
+	}
+	s := &Sink{
+		rt: r, conn: conn,
+		done:   make(chan struct{}),
+		byFlow: make(map[netaddr.FiveTuple]int),
+		byAddr: make(map[netaddr.Addr]int),
+	}
+	for _, a := range addrs {
+		r.register(a, conn.LocalAddr().(*net.UDPAddr))
+	}
+	r.sinks = append(r.sinks, s)
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+func (s *Sink) stop() {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	_ = s.conn.Close()
+	s.wg.Wait()
+}
+
+func (s *Sink) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		if err := s.conn.SetReadDeadline(time.Now().Add(5 * time.Millisecond)); err != nil {
+			return
+		}
+		n, _, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return
+		}
+		if n < 1 || buf[0] != frameData {
+			continue
+		}
+		pkt, err := packet.Unmarshal(buf[1:n])
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.received++
+		s.byFlow[pkt.FiveTuple()]++
+		s.byAddr[pkt.Inner.Dst]++
+		if pkt.IsEncapsulated() {
+			s.encaps++
+		}
+		if pkt.Label() != 0 {
+			s.labeled++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Received returns the total packets the sink accepted.
+func (s *Sink) Received() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// FlowCount returns packets received for one flow tuple.
+func (s *Sink) FlowCount(ft netaddr.FiveTuple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byFlow[ft]
+}
+
+// Anomalies returns how many received packets were still encapsulated or
+// still labeled — both must be zero in a correct deployment.
+func (s *Sink) Anomalies() (encapsulated, labeled int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.encaps, s.labeled
+}
+
+// Inject sends a data packet into the fabric addressed to `via` (usually
+// the source subnet's proxy), as a host on the stub network would.
+func (r *Runtime) Inject(via netaddr.Addr, pkt *packet.Packet) error {
+	ep, ok := r.lookup(via)
+	if !ok {
+		return fmt.Errorf("live: no endpoint for %v", via)
+	}
+	r.sendTo(ep, append([]byte{frameData}, pkt.Marshal()...))
+	return nil
+}
+
+// WaitUntil polls cond every millisecond until it returns true or the
+// timeout elapses; it reports whether cond became true. Tests and demos
+// use it to sequence against network asynchrony.
+func WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}

@@ -1,0 +1,34 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"sdme/internal/lp"
+)
+
+// Example demonstrates the solver on a miniature of the controller's
+// load-balancing problem: split a demand of 12 across two middleboxes
+// with capacities 8 and 4 so the maximum load factor λ is minimal.
+func Example() {
+	p := lp.NewProblem()
+	t1 := p.AddVar("t1")         // traffic to middlebox 1
+	t2 := p.AddVar("t2")         // traffic to middlebox 2
+	lambda := p.AddVar("lambda") // max load factor
+	p.SetObjective(lambda, 1)
+
+	p.AddConstraint(lp.Eq, 12, lp.Term{Var: t1, Coef: 1}, lp.Term{Var: t2, Coef: 1})
+	p.AddConstraint(lp.Le, 0, lp.Term{Var: t1, Coef: 1}, lp.Term{Var: lambda, Coef: -8})
+	p.AddConstraint(lp.Le, 0, lp.Term{Var: t2, Coef: 1}, lp.Term{Var: lambda, Coef: -4})
+
+	sol, err := p.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("status: %v\n", sol.Status)
+	fmt.Printf("lambda: %.2f\n", sol.Objective)
+	fmt.Printf("split: %.0f / %.0f\n", sol.Value(t1), sol.Value(t2))
+	// Output:
+	// status: optimal
+	// lambda: 1.00
+	// split: 8 / 4
+}

@@ -1,0 +1,139 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sdme/internal/enforce"
+	"sdme/internal/live"
+)
+
+// Agent is the device-side endpoint: it connects a live runtime device to
+// the controller's management server, applies pushed configurations
+// inside the device's own goroutine, and (for proxies) reports traffic
+// measurements periodically.
+type Agent struct {
+	dev  *live.Device
+	conn net.Conn
+
+	writeMu sync.Mutex
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewAgent dials the server, introduces the device, and starts the agent
+// loops. reportEvery > 0 enables periodic measurement reports (proxies).
+func NewAgent(dev *live.Device, serverAddr string, reportEvery time.Duration) (*Agent, error) {
+	conn, err := net.Dial("tcp", serverAddr)
+	if err != nil {
+		return nil, fmt.Errorf("mgmt: dial %s: %w", serverAddr, err)
+	}
+	a := &Agent{dev: dev, conn: conn, stop: make(chan struct{})}
+	hello := Hello{NodeID: int(dev.Node.ID), Proxy: dev.Node.IsProxy}
+	if err := a.write(TypeHello, hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	a.wg.Add(1)
+	go a.readLoop()
+	if reportEvery > 0 && dev.Node.IsProxy {
+		a.wg.Add(1)
+		go a.reportLoop(reportEvery)
+	}
+	return a, nil
+}
+
+// Close stops the agent.
+func (a *Agent) Close() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	_ = a.conn.Close()
+	a.wg.Wait()
+}
+
+func (a *Agent) write(typ string, v interface{}) error {
+	a.writeMu.Lock()
+	defer a.writeMu.Unlock()
+	return writeMsg(a.conn, typ, v)
+}
+
+func (a *Agent) readLoop() {
+	defer a.wg.Done()
+	for {
+		env, err := readMsg(a.conn)
+		if err != nil {
+			return
+		}
+		if env.T != TypeConfig {
+			continue
+		}
+		var dto ConfigDTO
+		if err := json.Unmarshal(env.Data, &dto); err != nil {
+			_ = a.write(TypeAck, Ack{Seq: dto.Seq, Error: "bad config: " + err.Error()})
+			continue
+		}
+		errStr := ""
+		if dto.WeightsOnly {
+			w := WeightsFromDTO(dto.Weights)
+			if !a.dev.Do(func(n *enforce.Node) { n.SetWeights(w) }) {
+				errStr = "device stopped"
+			}
+		} else {
+			cfg, err := ConfigFromDTO(dto)
+			if err != nil {
+				errStr = err.Error()
+			} else {
+				applied := a.dev.Do(func(n *enforce.Node) {
+					if ierr := n.Install(cfg); ierr != nil {
+						errStr = ierr.Error()
+					}
+				})
+				if !applied {
+					errStr = "device stopped"
+				}
+			}
+		}
+		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Error: errStr})
+	}
+}
+
+// reportLoop periodically snapshots and resets the proxy's measurements
+// (inside the device goroutine) and ships them to the controller — the
+// paper's §III-C reporting path.
+func (a *Agent) reportLoop(every time.Duration) {
+	defer a.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			var rows []MeasureRow
+			ok := a.dev.Do(func(n *enforce.Node) {
+				for k, v := range n.Measurements() {
+					rows = append(rows, MeasureRow{
+						PolicyID: k.PolicyID, SrcSubnet: k.SrcSubnet,
+						DstSubnet: k.DstSubnet, Packets: v,
+					})
+				}
+				n.ResetMeasurements()
+			})
+			if !ok {
+				return
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			if err := a.write(TypeMeasure, Measure{NodeID: int(a.dev.Node.ID), Rows: rows}); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package mgmt_test
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdme/internal/controller"
+	"sdme/internal/enforce"
+	"sdme/internal/live"
+	"sdme/internal/mgmt"
+	"sdme/internal/netaddr"
+	"sdme/internal/packet"
+	"sdme/internal/policy"
+	"sdme/internal/route"
+	"sdme/internal/topo"
+)
+
+func TestConfigDTORoundTrip(t *testing.T) {
+	tbl := policy.NewTable()
+	d := policy.NewDescriptor()
+	d.Src = netaddr.MustParsePrefix("10.1.0.0/16")
+	d.DstPort = netaddr.SinglePort(80)
+	p := tbl.Add(d, policy.ActionList{policy.FuncFW, policy.FuncIDS})
+
+	cfg := enforce.Config{
+		Policies: []*policy.Policy{p},
+		Candidates: map[policy.FuncType][]topo.NodeID{
+			policy.FuncFW:  {11, 12},
+			policy.FuncIDS: {13},
+		},
+		Weights: map[enforce.WeightKey][]float64{
+			{PolicyID: p.ID, Func: policy.FuncFW}: {0.7, 0.3},
+		},
+		Strategy:       enforce.LoadBalanced,
+		HashSeed:       999,
+		LabelSwitching: true,
+		FlowTTL:        12345,
+		LabelTTL:       67890,
+		UseTrie:        true,
+	}
+	back, err := mgmt.ConfigFromDTO(mgmt.ConfigToDTO(7, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Strategy != cfg.Strategy || back.HashSeed != cfg.HashSeed ||
+		back.LabelSwitching != cfg.LabelSwitching ||
+		back.FlowTTL != cfg.FlowTTL || back.LabelTTL != cfg.LabelTTL ||
+		back.UseTrie != cfg.UseTrie {
+		t.Errorf("scalar fields lost: %+v", back)
+	}
+	if len(back.Policies) != 1 {
+		t.Fatalf("policies = %d", len(back.Policies))
+	}
+	bp := back.Policies[0]
+	if bp.ID != p.ID || !bp.Actions.Equal(p.Actions) || bp.Desc != p.Desc {
+		t.Errorf("policy round trip: %+v vs %+v", bp, p)
+	}
+	if len(back.Candidates[policy.FuncFW]) != 2 || back.Candidates[policy.FuncFW][0] != 11 {
+		t.Errorf("candidates: %v", back.Candidates)
+	}
+	w := back.Weights[enforce.WeightKey{PolicyID: p.ID, Func: policy.FuncFW}]
+	if len(w) != 2 || w[0] != 0.7 {
+		t.Errorf("weights: %v", w)
+	}
+}
+
+// mgmtBed: a live runtime whose devices are configured ONLY via the
+// management channel.
+type mgmtBed struct {
+	g       *topo.Graph
+	dep     *enforce.Deployment
+	ap      *route.AllPairs
+	tbl     *policy.Table
+	ctl     *controller.Controller
+	nodes   map[topo.NodeID]*enforce.Node
+	rt      *live.Runtime
+	devices map[topo.NodeID]*live.Device
+	sink    *live.Sink
+	server  *mgmt.Server
+	agents  []*mgmt.Agent
+
+	measMu sync.Mutex
+	meas   controller.Measurements
+}
+
+func newMgmtBed(t *testing.T, reportEvery time.Duration) *mgmtBed {
+	t.Helper()
+	rng := rand.New(rand.NewSource(6))
+	g := topo.Campus(topo.CampusConfig{Gateways: 2, CoreRouters: 4, EdgeRouters: 2, WithProxies: true}, rng)
+	dep, err := enforce.NewDeployment(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := g.NodesOfKind(topo.KindCoreRouter)
+	dep.AddMiddlebox(cores[0], "fw1", policy.FuncFW)
+	dep.AddMiddlebox(cores[2], "fw2", policy.FuncFW)
+	dep.AddMiddlebox(cores[1], "ids1", policy.FuncIDS)
+
+	tbl := policy.NewTable()
+	d := policy.NewDescriptor()
+	d.DstPort = netaddr.SinglePort(80)
+	tbl.Add(d, policy.ActionList{policy.FuncFW, policy.FuncIDS})
+
+	ap := route.NewAllPairs(g, route.RouterTransitOnly(g))
+	ctl := controller.New(dep, ap, tbl, controller.Options{
+		Strategy: enforce.LoadBalanced,
+		K:        map[policy.FuncType]int{policy.FuncFW: 2, policy.FuncIDS: 1},
+	})
+	// Build nodes but install only empty configs: the management channel
+	// must deliver the real configuration.
+	nodes, err := ctl.BuildNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := &mgmtBed{
+		g: g, dep: dep, ap: ap, tbl: tbl, ctl: ctl, nodes: nodes,
+		rt: live.NewRuntime(), devices: make(map[topo.NodeID]*live.Device),
+		meas: make(controller.Measurements),
+	}
+	t.Cleanup(func() {
+		for _, a := range b.agents {
+			a.Close()
+		}
+		if b.server != nil {
+			b.server.Close()
+		}
+		b.rt.Close()
+	})
+
+	server, err := mgmt.NewServer("127.0.0.1:0", func(_ topo.NodeID, rows []mgmt.MeasureRow) {
+		b.measMu.Lock()
+		defer b.measMu.Unlock()
+		for _, r := range rows {
+			b.meas[enforce.MeasKey{PolicyID: r.PolicyID, SrcSubnet: r.SrcSubnet, DstSubnet: r.DstSubnet}] += r.Packets
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.server = server
+
+	var ids []topo.NodeID
+	for id, n := range nodes {
+		dev, err := b.rt.AddDevice(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.devices[id] = dev
+		agent, err := mgmt.NewAgent(dev, server.Addr(), reportEvery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.agents = append(b.agents, agent)
+		ids = append(ids, id)
+	}
+	if !server.WaitConnected(3*time.Second, ids...) {
+		t.Fatalf("agents did not connect: %v of %v", server.Connected(), ids)
+	}
+	sink, err := b.rt.AddSink(topo.HostAddr(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.sink = sink
+	return b
+}
+
+// pushAll ships every node's controller-computed config over the wire.
+func (b *mgmtBed) pushAll(t *testing.T) {
+	t.Helper()
+	for id, n := range b.nodes {
+		dto := mgmt.ConfigToDTO(0, n.Config())
+		if err := b.server.Push(id, dto, 3*time.Second); err != nil {
+			t.Fatalf("push to %v: %v", id, err)
+		}
+	}
+}
+
+func TestConfigPushAndEnforcementOverWire(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	b.pushAll(t)
+
+	proxyID, _ := b.dep.ProxyFor(1)
+	ft := netaddr.FiveTuple{
+		Src: topo.HostAddr(1, 1), Dst: topo.HostAddr(2, 1),
+		SrcPort: 47000, DstPort: 80, Proto: netaddr.ProtoTCP,
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := b.rt.Inject(b.dep.AddrOf(proxyID), packet.New(ft, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !live.WaitUntil(3*time.Second, func() bool { return b.sink.Received() >= n }) {
+		t.Fatalf("sink received %d of %d", b.sink.Received(), n)
+	}
+	// The chain ran on configs that traveled the management channel.
+	ids := b.dep.Providers(policy.FuncIDS)[0]
+	if got := b.devices[ids].Counters().Load; got != n {
+		t.Errorf("IDS load = %d, want %d", got, n)
+	}
+}
+
+func TestMeasurementReportingAndRebalanceOverWire(t *testing.T) {
+	b := newMgmtBed(t, 30*time.Millisecond)
+	b.pushAll(t)
+
+	proxyID, _ := b.dep.ProxyFor(1)
+	for i := 0; i < 10; i++ {
+		ft := netaddr.FiveTuple{
+			Src: topo.HostAddr(1, 1+i), Dst: topo.HostAddr(2, 1),
+			SrcPort: uint16(48000 + i), DstPort: 80, Proto: netaddr.ProtoTCP,
+		}
+		if err := b.rt.Inject(b.dep.AddrOf(proxyID), packet.New(ft, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !live.WaitUntil(3*time.Second, func() bool { return b.sink.Received() >= 10 }) {
+		t.Fatalf("sink received %d", b.sink.Received())
+	}
+	// Reports arrive asynchronously; wait for all 10 packets' counts.
+	if !live.WaitUntil(3*time.Second, func() bool {
+		b.measMu.Lock()
+		defer b.measMu.Unlock()
+		var total int64
+		for _, v := range b.meas {
+			total += v
+		}
+		return total >= 10
+	}) {
+		t.Fatal("measurements never arrived at the controller")
+	}
+
+	// Close the §III-C loop: solve LB from the REPORTED measurements and
+	// push weights-only updates back over the wire.
+	b.measMu.Lock()
+	meas := make(controller.Measurements, len(b.meas))
+	for k, v := range b.meas {
+		meas[k] = v
+	}
+	b.measMu.Unlock()
+	sol, err := b.ctl.SolveLB(meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range b.nodes {
+		w := sol.Weights[id]
+		if err := b.server.Push(id, mgmt.WeightsToDTO(0, w), 3*time.Second); err != nil {
+			t.Fatalf("weights push to %v: %v", id, err)
+		}
+	}
+	// Weight-only pushes preserve soft state: the proxy's flow table
+	// still has the 10 flows.
+	proxyDev := b.devices[proxyID]
+	var flows int
+	proxyDev.Do(func(n *enforce.Node) { flows = n.FlowTable().Len() })
+	if flows != 10 {
+		t.Errorf("flow table lost state on weights push: %d entries", flows)
+	}
+}
+
+func TestPushToUnknownNodeFails(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	if err := b.server.Push(topo.NodeID(9999), mgmt.ConfigDTO{}, time.Second); err == nil {
+		t.Error("push to unknown node should fail")
+	}
+}
+
+func TestServerRejectsMalformedClients(t *testing.T) {
+	server, err := mgmt.NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	// Garbage before hello: connection dropped, no registration.
+	conn, err := net.Dial("tcp", server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	// The 4-byte prefix claims a 4GB frame; the server must hang up.
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server kept a connection that announced an absurd frame")
+	}
+	_ = conn.Close()
+	if got := server.Connected(); len(got) != 0 {
+		t.Errorf("malformed client registered: %v", got)
+	}
+}
+
+func TestAgentRejectsBadConfig(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	node := b.dep.MBNodes[0]
+	// A config whose policy repeats a function type: the node's Install
+	// refuses it and the refusal travels back as the ack error.
+	dto := mgmt.ConfigDTO{
+		Strategy: int(enforce.HotPotato),
+		Policies: []mgmt.PolicyDTO{{
+			ID: 1, SrcBits: 0, DstBits: 0,
+			SrcPortHi: 65535, DstPortHi: 65535,
+			Actions: []int{int(policy.FuncFW), int(policy.FuncIDS), int(policy.FuncFW)},
+		}},
+	}
+	err := b.server.Push(node, dto, 3*time.Second)
+	if err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if !strings.Contains(err.Error(), "repeats function") {
+		t.Errorf("refusal reason lost on the wire: %v", err)
+	}
+}
+
+func TestAgentReconnectAfterServerRestart(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	node := b.dep.MBNodes[0]
+	// Close the agent and re-dial a fresh one to the same server: pushes
+	// must work again (the server replaces the connection).
+	b.agents[0].Close()
+	for i, dev := range b.devices {
+		_ = i
+		_ = dev
+		break
+	}
+	dev := b.devices[node]
+	agent, err := mgmt.NewAgent(dev, b.server.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if !b.server.WaitConnected(3*time.Second, node) {
+		t.Fatal("reconnect did not register")
+	}
+	if err := b.server.Push(node, mgmt.ConfigToDTO(0, b.nodes[node].Config()), 3*time.Second); err != nil {
+		t.Fatalf("push after reconnect: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sdme/internal/topo"
+)
+
+// Server is the controller-side endpoint of the management channel. It
+// accepts agent connections, tracks which node each serves, pushes
+// configuration, and surfaces measurement reports.
+type Server struct {
+	l net.Listener
+
+	mu      sync.Mutex
+	conns   map[topo.NodeID]*serverConn
+	nextSeq uint64
+	onMeas  func(topo.NodeID, []MeasureRow)
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type serverConn struct {
+	node topo.NodeID
+	conn net.Conn
+
+	writeMu sync.Mutex
+	ackMu   sync.Mutex
+	pending map[uint64]chan string // seq -> error string ("" = ok)
+}
+
+// NewServer starts a management server listening on addr ("127.0.0.1:0"
+// for tests/demos).
+func NewServer(addr string, onMeasure func(topo.NodeID, []MeasureRow)) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mgmt: listen: %w", err)
+	}
+	s := &Server{
+		l:      l,
+		conns:  make(map[topo.NodeID]*serverConn),
+		onMeas: onMeasure,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address for agents to dial.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the server and all connections down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.l.Close()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+// Connected returns the nodes with live agent connections, in ID order.
+func (s *Server) Connected() []topo.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]topo.NodeID, 0, len(s.conns))
+	for id := range s.conns {
+		out = append(out, id)
+	}
+	return topo.SortedIDs(out)
+}
+
+// WaitConnected blocks until all the given nodes have connected or the
+// timeout passes; it reports success.
+func (s *Server) WaitConnected(timeout time.Duration, nodes ...topo.NodeID) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		have := make(map[topo.NodeID]bool)
+		for _, id := range s.Connected() {
+			have[id] = true
+		}
+		all := true
+		for _, id := range nodes {
+			if !have[id] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// Push sends a configuration to a node's agent and waits for its ack.
+// The DTO's Seq is assigned here.
+func (s *Server) Push(node topo.NodeID, dto ConfigDTO, timeout time.Duration) error {
+	s.mu.Lock()
+	c := s.conns[node]
+	s.nextSeq++
+	dto.Seq = s.nextSeq
+	s.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("mgmt: node %v has no agent connection", node)
+	}
+
+	ackCh := make(chan string, 1)
+	c.ackMu.Lock()
+	c.pending[dto.Seq] = ackCh
+	c.ackMu.Unlock()
+	defer func() {
+		c.ackMu.Lock()
+		delete(c.pending, dto.Seq)
+		c.ackMu.Unlock()
+	}()
+
+	c.writeMu.Lock()
+	err := writeMsg(c.conn, TypeConfig, dto)
+	c.writeMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("mgmt: push to %v: %w", node, err)
+	}
+	select {
+	case e := <-ackCh:
+		if e != "" {
+			return fmt.Errorf("mgmt: node %v refused config: %s", node, e)
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("mgmt: node %v ack timeout", node)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	env, err := readMsg(conn)
+	if err != nil || env.T != TypeHello {
+		_ = conn.Close()
+		return
+	}
+	var hello Hello
+	if err := json.Unmarshal(env.Data, &hello); err != nil {
+		_ = conn.Close()
+		return
+	}
+	c := &serverConn{
+		node:    topo.NodeID(hello.NodeID),
+		conn:    conn,
+		pending: make(map[uint64]chan string),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[c.node] = c
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.conns[c.node] == c {
+			delete(s.conns, c.node)
+		}
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	for {
+		env, err := readMsg(conn)
+		if err != nil {
+			return
+		}
+		switch env.T {
+		case TypeAck:
+			var ack Ack
+			if json.Unmarshal(env.Data, &ack) != nil {
+				continue
+			}
+			c.ackMu.Lock()
+			ch := c.pending[ack.Seq]
+			c.ackMu.Unlock()
+			if ch != nil {
+				ch <- ack.Error
+			}
+		case TypeMeasure:
+			var m Measure
+			if json.Unmarshal(env.Data, &m) != nil {
+				continue
+			}
+			if s.onMeas != nil {
+				s.onMeas(topo.NodeID(m.NodeID), m.Rows)
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package mgmt implements the management channel of the paper's
+// architecture (§III-A): the centralized controller configures
+// software-defined middleboxes and policy proxies over the network, and
+// the proxies report their traffic measurements back (§III-C). Messages
+// are length-prefixed JSON over TCP; agents embed in the live runtime's
+// devices and apply configuration inside each device's own goroutine.
+//
+// This is the piece that makes the controller "software-defined" rather
+// than in-process: the same enforce.Config that unit tests install
+// directly travels here as a wire message.
+package mgmt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sdme/internal/enforce"
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// maxFrame bounds a message frame (a Waxman-scale config with hundreds
+// of policies fits comfortably).
+const maxFrame = 16 << 20
+
+// Envelope wraps every wire message with its type tag.
+type Envelope struct {
+	T    string          `json:"t"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Message type tags.
+const (
+	TypeHello   = "hello"
+	TypeConfig  = "config"
+	TypeAck     = "ack"
+	TypeMeasure = "measure"
+)
+
+// Hello announces an agent to the server.
+type Hello struct {
+	NodeID int    `json:"node_id"`
+	Name   string `json:"name"`
+	Proxy  bool   `json:"proxy"`
+}
+
+// PolicyDTO is a lossless wire form of one policy.
+type PolicyDTO struct {
+	ID        int    `json:"id"`
+	Prio      int    `json:"prio"`
+	SrcAddr   uint32 `json:"src_addr"`
+	SrcBits   int    `json:"src_bits"`
+	DstAddr   uint32 `json:"dst_addr"`
+	DstBits   int    `json:"dst_bits"`
+	SrcPortLo uint16 `json:"sp_lo"`
+	SrcPortHi uint16 `json:"sp_hi"`
+	DstPortLo uint16 `json:"dp_lo"`
+	DstPortHi uint16 `json:"dp_hi"`
+	Proto     uint8  `json:"proto"`
+	Actions   []int  `json:"actions"`
+}
+
+// CandidateDTO is one candidate set M_x^e.
+type CandidateDTO struct {
+	Func  int   `json:"func"`
+	Nodes []int `json:"nodes"`
+}
+
+// WeightDTO is one LB weight vector.
+type WeightDTO struct {
+	PolicyID  int       `json:"policy_id"`
+	Func      int       `json:"func"`
+	SrcSubnet int       `json:"src,omitempty"`
+	DstSubnet int       `json:"dst,omitempty"`
+	Weights   []float64 `json:"w"`
+}
+
+// ConfigDTO is a full node configuration push.
+type ConfigDTO struct {
+	Seq            uint64         `json:"seq"`
+	Strategy       int            `json:"strategy"`
+	HashSeed       uint64         `json:"hash_seed"`
+	LabelSwitching bool           `json:"label_switching"`
+	FlowTTL        int64          `json:"flow_ttl"`
+	LabelTTL       int64          `json:"label_ttl"`
+	UseTrie        bool           `json:"use_trie"`
+	Policies       []PolicyDTO    `json:"policies"`
+	Candidates     []CandidateDTO `json:"candidates"`
+	Weights        []WeightDTO    `json:"weights,omitempty"`
+	// WeightsOnly applies only the weight vectors, preserving tables and
+	// soft state (the §III-C periodic rebalance).
+	WeightsOnly bool `json:"weights_only,omitempty"`
+}
+
+// Ack confirms (or refuses) a config push.
+type Ack struct {
+	Seq   uint64 `json:"seq"`
+	Error string `json:"error,omitempty"`
+}
+
+// MeasureRow is one traffic measurement bucket (§III-C's T_{s,d,p}).
+type MeasureRow struct {
+	PolicyID  int   `json:"policy_id"`
+	SrcSubnet int   `json:"src"`
+	DstSubnet int   `json:"dst"`
+	Packets   int64 `json:"packets"`
+}
+
+// Measure carries a proxy's measurement report.
+type Measure struct {
+	NodeID int          `json:"node_id"`
+	Rows   []MeasureRow `json:"rows"`
+}
+
+// writeMsg frames and writes one message.
+func writeMsg(w io.Writer, typ string, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("mgmt: marshal %s: %w", typ, err)
+	}
+	env, err := json.Marshal(Envelope{T: typ, Data: data})
+	if err != nil {
+		return fmt.Errorf("mgmt: marshal envelope: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(env)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(env)
+	return err
+}
+
+// readMsg reads one framed message.
+func readMsg(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("mgmt: bad frame size %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return nil, fmt.Errorf("mgmt: bad envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// ConfigToDTO serializes an enforce.Config for the wire.
+func ConfigToDTO(seq uint64, cfg enforce.Config) ConfigDTO {
+	dto := ConfigDTO{
+		Seq:            seq,
+		Strategy:       int(cfg.Strategy),
+		HashSeed:       cfg.HashSeed,
+		LabelSwitching: cfg.LabelSwitching,
+		FlowTTL:        cfg.FlowTTL,
+		LabelTTL:       cfg.LabelTTL,
+		UseTrie:        cfg.UseTrie,
+	}
+	for _, p := range cfg.Policies {
+		pd := PolicyDTO{
+			ID: p.ID, Prio: p.Prio,
+			SrcAddr: uint32(p.Desc.Src.Addr()), SrcBits: p.Desc.Src.Bits(),
+			DstAddr: uint32(p.Desc.Dst.Addr()), DstBits: p.Desc.Dst.Bits(),
+			SrcPortLo: p.Desc.SrcPort.Lo, SrcPortHi: p.Desc.SrcPort.Hi,
+			DstPortLo: p.Desc.DstPort.Lo, DstPortHi: p.Desc.DstPort.Hi,
+			Proto: p.Desc.Proto,
+		}
+		for _, a := range p.Actions {
+			pd.Actions = append(pd.Actions, int(a))
+		}
+		dto.Policies = append(dto.Policies, pd)
+	}
+	for f, nodes := range cfg.Candidates {
+		cd := CandidateDTO{Func: int(f)}
+		for _, n := range nodes {
+			cd.Nodes = append(cd.Nodes, int(n))
+		}
+		dto.Candidates = append(dto.Candidates, cd)
+	}
+	dto.Weights = weightsToDTO(cfg.Weights)
+	return dto
+}
+
+func weightsToDTO(w map[enforce.WeightKey][]float64) []WeightDTO {
+	var out []WeightDTO
+	for k, v := range w {
+		out = append(out, WeightDTO{
+			PolicyID: k.PolicyID, Func: int(k.Func),
+			SrcSubnet: k.SrcSubnet, DstSubnet: k.DstSubnet,
+			Weights: v,
+		})
+	}
+	return out
+}
+
+// WeightsToDTO serializes a solved weight map for a weights-only push.
+func WeightsToDTO(seq uint64, w map[enforce.WeightKey][]float64) ConfigDTO {
+	return ConfigDTO{Seq: seq, WeightsOnly: true, Weights: weightsToDTO(w)}
+}
+
+// ConfigFromDTO reconstructs an enforce.Config from the wire form.
+func ConfigFromDTO(dto ConfigDTO) (enforce.Config, error) {
+	cfg := enforce.Config{
+		Strategy:       enforce.Strategy(dto.Strategy),
+		HashSeed:       dto.HashSeed,
+		LabelSwitching: dto.LabelSwitching,
+		FlowTTL:        dto.FlowTTL,
+		LabelTTL:       dto.LabelTTL,
+		UseTrie:        dto.UseTrie,
+	}
+	for _, pd := range dto.Policies {
+		desc := policy.Descriptor{
+			Src:     netaddr.PrefixFrom(netaddr.Addr(pd.SrcAddr), pd.SrcBits),
+			Dst:     netaddr.PrefixFrom(netaddr.Addr(pd.DstAddr), pd.DstBits),
+			SrcPort: netaddr.PortRange{Lo: pd.SrcPortLo, Hi: pd.SrcPortHi},
+			DstPort: netaddr.PortRange{Lo: pd.DstPortLo, Hi: pd.DstPortHi},
+			Proto:   pd.Proto,
+		}
+		actions := make(policy.ActionList, len(pd.Actions))
+		for i, a := range pd.Actions {
+			actions[i] = policy.FuncType(a)
+		}
+		cfg.Policies = append(cfg.Policies, &policy.Policy{
+			ID: pd.ID, Prio: pd.Prio, Desc: desc, Actions: actions,
+		})
+	}
+	if len(dto.Candidates) > 0 {
+		cfg.Candidates = make(map[policy.FuncType][]topo.NodeID, len(dto.Candidates))
+		for _, cd := range dto.Candidates {
+			nodes := make([]topo.NodeID, len(cd.Nodes))
+			for i, n := range cd.Nodes {
+				nodes[i] = topo.NodeID(n)
+			}
+			cfg.Candidates[policy.FuncType(cd.Func)] = nodes
+		}
+	}
+	cfg.Weights = WeightsFromDTO(dto.Weights)
+	return cfg, nil
+}
+
+// WeightsFromDTO reconstructs a weight map.
+func WeightsFromDTO(rows []WeightDTO) map[enforce.WeightKey][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make(map[enforce.WeightKey][]float64, len(rows))
+	for _, wd := range rows {
+		out[enforce.WeightKey{
+			PolicyID: wd.PolicyID, Func: policy.FuncType(wd.Func),
+			SrcSubnet: wd.SrcSubnet, DstSubnet: wd.DstSubnet,
+		}] = wd.Weights
+	}
+	return out
+}

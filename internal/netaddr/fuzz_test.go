@@ -1,0 +1,42 @@
+package netaddr
+
+import "testing"
+
+// FuzzParseAddr: arbitrary strings must never panic; accepted inputs
+// must round-trip through String.
+func FuzzParseAddr(f *testing.F) {
+	for _, s := range []string{"0.0.0.0", "255.255.255.255", "10.1.2.3", "1.2.3", "a.b.c.d", "", "1..2.3"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAddr(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseAddr(a.String())
+		if err != nil || back != a {
+			t.Fatalf("round trip of %q failed: %v %v", s, back, err)
+		}
+	})
+}
+
+// FuzzParsePrefix: accepted prefixes must be canonical (already masked)
+// and contain their own base address.
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{"10.0.0.0/8", "0.0.0.0/0", "1.2.3.4/32", "10.4.9.1/16", "x/8", "1.2.3.4/-1", "1.2.3.4/99"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		if !p.Contains(p.Addr()) {
+			t.Fatalf("prefix %v does not contain its base", p)
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip of %q -> %v failed: %v %v", s, p, back, err)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+// Package netaddr provides the addressing primitives used throughout the
+// sdme library: IPv4 addresses, CIDR prefixes, port ranges, and transport
+// five-tuples. It is the lowest substrate layer; every other package builds
+// on these types.
+//
+// The types are deliberately small value types (an Addr is a uint32) so
+// that they can be used as map keys and copied freely on the hot path of
+// the simulator and the live dataplane.
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// AddrFrom4 builds an Addr from four dotted-quad octets.
+func AddrFrom4(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseAddr parses a dotted-quad IPv4 address such as "10.1.0.7".
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: parse %q: want 4 octets, got %d", s, len(parts))
+	}
+	var out uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("netaddr: parse %q: bad octet %q: %w", s, p, err)
+		}
+		out = out<<8 | uint32(v)
+	}
+	return Addr(out), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error. It is intended for
+// tests and compile-time-constant-like initialization.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Octets returns the four dotted-quad octets of the address.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	o := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", o[0], o[1], o[2], o[3])
+}
+
+// IsZero reports whether the address is the zero address 0.0.0.0.
+func (a Addr) IsZero() bool { return a == 0 }
+
+// Prefix is a CIDR address prefix such as 10.4.0.0/16.
+type Prefix struct {
+	addr Addr
+	bits uint8
+}
+
+// PrefixFrom returns a prefix with the given address and length. The
+// address is masked to the prefix length, so PrefixFrom(10.1.2.3, 16)
+// equals PrefixFrom(10.1.0.0, 16). Lengths above 32 are clamped to 32.
+func PrefixFrom(a Addr, bits int) Prefix {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 32 {
+		bits = 32
+	}
+	return Prefix{addr: a & maskFor(bits), bits: uint8(bits)}
+}
+
+// ParsePrefix parses CIDR notation such as "10.4.0.0/16".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: parse prefix %q: missing '/'", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: parse prefix %q: bad length", s)
+	}
+	return PrefixFrom(a, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AnyPrefix matches every address (0.0.0.0/0); it is the wildcard used in
+// policy traffic descriptors.
+func AnyPrefix() Prefix { return Prefix{} }
+
+func maskFor(bits int) Addr {
+	if bits <= 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - uint(bits)))
+}
+
+// Addr returns the masked base address of the prefix.
+func (p Prefix) Addr() Addr { return p.addr }
+
+// Bits returns the prefix length in bits.
+func (p Prefix) Bits() int { return int(p.bits) }
+
+// Contains reports whether the prefix covers address a.
+func (p Prefix) Contains(a Addr) bool {
+	return a&maskFor(int(p.bits)) == p.addr
+}
+
+// Overlaps reports whether the two prefixes share any address; one must be
+// a sub-prefix of the other for that to hold.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.bits <= q.bits {
+		return p.Contains(q.addr)
+	}
+	return q.Contains(p.addr)
+}
+
+// IsAny reports whether the prefix is the full wildcard 0.0.0.0/0.
+func (p Prefix) IsAny() bool { return p.bits == 0 }
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", p.addr, p.bits)
+}
+
+// Protocol numbers used by the library; values follow IANA.
+const (
+	ProtoAny  uint8 = 0 // wildcard in descriptors
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// ProtoString renders a protocol number for humans.
+func ProtoString(p uint8) string {
+	switch p {
+	case ProtoAny:
+		return "any"
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return strconv.Itoa(int(p))
+	}
+}
+
+// PortRange is an inclusive range of transport ports. The zero value
+// (Lo=0, Hi=0) is NOT the wildcard; use AnyPort for that.
+type PortRange struct {
+	Lo, Hi uint16
+}
+
+// AnyPort matches every port.
+func AnyPort() PortRange { return PortRange{Lo: 0, Hi: 65535} }
+
+// SinglePort matches exactly one port.
+func SinglePort(p uint16) PortRange { return PortRange{Lo: p, Hi: p} }
+
+// Contains reports whether port p falls in the range.
+func (r PortRange) Contains(p uint16) bool { return p >= r.Lo && p <= r.Hi }
+
+// IsAny reports whether the range covers all 65536 ports.
+func (r PortRange) IsAny() bool { return r.Lo == 0 && r.Hi == 65535 }
+
+// IsSingle reports whether the range covers exactly one port.
+func (r PortRange) IsSingle() bool { return r.Lo == r.Hi }
+
+// String renders the range; "*" for the wildcard, "80" for a single port,
+// "1000-2000" otherwise.
+func (r PortRange) String() string {
+	switch {
+	case r.IsAny():
+		return "*"
+	case r.IsSingle():
+		return strconv.Itoa(int(r.Lo))
+	default:
+		return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+	}
+}
+
+// FiveTuple identifies a transport flow: addresses, ports and protocol.
+// It is the flow identifier hashed by the enforcement dataplane (§III-C of
+// the paper) and the key of the flow hash table (§III-D).
+type FiveTuple struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Reverse returns the tuple of the reverse direction of the flow.
+func (f FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		Src: f.Dst, Dst: f.Src,
+		SrcPort: f.DstPort, DstPort: f.SrcPort,
+		Proto: f.Proto,
+	}
+}
+
+// String renders the tuple as "tcp 10.0.0.1:80 -> 10.1.0.2:5555".
+func (f FiveTuple) String() string {
+	return fmt.Sprintf("%s %s:%d -> %s:%d",
+		ProtoString(f.Proto), f.Src, f.SrcPort, f.Dst, f.DstPort)
+}
+
+// Hash returns a 64-bit hash of the tuple using the FNV-1a construction
+// with an explicit seed. The same (seed, tuple) pair always yields the
+// same value on every node, which is what makes the paper's probabilistic
+// middlebox selection consistent for all packets of one flow.
+func (f FiveTuple) Hash(seed uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ seed
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 24; i >= 0; i -= 8 {
+		mix(byte(uint32(f.Src) >> uint(i)))
+	}
+	for i := 24; i >= 0; i -= 8 {
+		mix(byte(uint32(f.Dst) >> uint(i)))
+	}
+	mix(byte(f.SrcPort >> 8))
+	mix(byte(f.SrcPort))
+	mix(byte(f.DstPort >> 8))
+	mix(byte(f.DstPort))
+	mix(f.Proto)
+	return h
+}

@@ -1,0 +1,270 @@
+package netaddr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Addr
+		wantErr bool
+	}{
+		{in: "0.0.0.0", want: 0},
+		{in: "10.1.2.3", want: AddrFrom4(10, 1, 2, 3)},
+		{in: "255.255.255.255", want: Addr(0xffffffff)},
+		{in: "128.40.0.1", want: AddrFrom4(128, 40, 0, 1)},
+		{in: "1.2.3", wantErr: true},
+		{in: "1.2.3.4.5", wantErr: true},
+		{in: "256.0.0.1", wantErr: true},
+		{in: "a.b.c.d", wantErr: true},
+		{in: "", wantErr: true},
+		{in: "-1.0.0.0", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAddr(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseAddr(%q): want error, got %v", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseAddr(%q): unexpected error %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrOctets(t *testing.T) {
+	a := AddrFrom4(192, 168, 7, 42)
+	want := [4]byte{192, 168, 7, 42}
+	if got := a.Octets(); got != want {
+		t.Errorf("Octets() = %v, want %v", got, want)
+	}
+	if a.String() != "192.168.7.42" {
+		t.Errorf("String() = %q", a.String())
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr on bad input did not panic")
+		}
+	}()
+	MustParseAddr("not-an-address")
+}
+
+func TestPrefixMasking(t *testing.T) {
+	p := PrefixFrom(MustParseAddr("10.1.2.3"), 16)
+	if got, want := p.Addr(), MustParseAddr("10.1.0.0"); got != want {
+		t.Errorf("masked addr = %v, want %v", got, want)
+	}
+	if p.Bits() != 16 {
+		t.Errorf("Bits() = %d, want 16", p.Bits())
+	}
+}
+
+func TestPrefixClamping(t *testing.T) {
+	if got := PrefixFrom(0, -5).Bits(); got != 0 {
+		t.Errorf("negative bits clamp: got %d, want 0", got)
+	}
+	if got := PrefixFrom(0, 99).Bits(); got != 32 {
+		t.Errorf("oversize bits clamp: got %d, want 32", got)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{in: "10.4.0.0/16", want: "10.4.0.0/16"},
+		{in: "10.4.9.1/16", want: "10.4.0.0/16"}, // masked
+		{in: "0.0.0.0/0", want: "0.0.0.0/0"},
+		{in: "1.2.3.4/32", want: "1.2.3.4/32"},
+		{in: "10.0.0.0", wantErr: true},
+		{in: "10.0.0.0/33", wantErr: true},
+		{in: "10.0.0.0/-1", wantErr: true},
+		{in: "x/8", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePrefix(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParsePrefix(%q): want error, got %v", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePrefix(%q): unexpected error %v", tt.in, err)
+			continue
+		}
+		if got.String() != tt.want {
+			t.Errorf("ParsePrefix(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("128.40.0.0/16")
+	if !p.Contains(MustParseAddr("128.40.12.7")) {
+		t.Error("prefix should contain in-subnet address")
+	}
+	if p.Contains(MustParseAddr("128.41.0.1")) {
+		t.Error("prefix should not contain out-of-subnet address")
+	}
+	if !AnyPrefix().Contains(MustParseAddr("200.1.2.3")) {
+		t.Error("wildcard prefix should contain everything")
+	}
+	if !AnyPrefix().IsAny() {
+		t.Error("AnyPrefix should report IsAny")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{a: "10.0.0.0/8", b: "10.4.0.0/16", want: true},
+		{a: "10.4.0.0/16", b: "10.0.0.0/8", want: true},
+		{a: "10.4.0.0/16", b: "10.5.0.0/16", want: false},
+		{a: "0.0.0.0/0", b: "1.2.3.4/32", want: true},
+		{a: "10.4.0.0/16", b: "10.4.0.0/16", want: true},
+	}
+	for _, tt := range tests {
+		a, b := MustParsePrefix(tt.a), MustParsePrefix(tt.b)
+		if got := a.Overlaps(b); got != tt.want {
+			t.Errorf("Overlaps(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := b.Overlaps(a); got != tt.want {
+			t.Errorf("Overlaps(%s, %s) = %v, want %v (symmetry)", tt.b, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixContainsConsistentWithOverlap(t *testing.T) {
+	// Property: if p contains an address a, then p overlaps the /32 of a.
+	f := func(base uint32, bits uint8, probe uint32) bool {
+		p := PrefixFrom(Addr(base), int(bits%33))
+		q := PrefixFrom(Addr(probe), 32)
+		return p.Contains(Addr(probe)) == p.Overlaps(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortRange(t *testing.T) {
+	if !AnyPort().IsAny() {
+		t.Error("AnyPort should be the wildcard")
+	}
+	if AnyPort().String() != "*" {
+		t.Errorf("AnyPort string = %q", AnyPort().String())
+	}
+	r := SinglePort(80)
+	if !r.IsSingle() || !r.Contains(80) || r.Contains(81) {
+		t.Errorf("SinglePort(80) misbehaves: %+v", r)
+	}
+	if r.String() != "80" {
+		t.Errorf("SinglePort string = %q", r.String())
+	}
+	wide := PortRange{Lo: 1000, Hi: 2000}
+	if wide.String() != "1000-2000" {
+		t.Errorf("range string = %q", wide.String())
+	}
+	if !wide.Contains(1000) || !wide.Contains(2000) || wide.Contains(999) || wide.Contains(2001) {
+		t.Error("range boundaries wrong")
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	f := FiveTuple{
+		Src: MustParseAddr("10.0.0.1"), Dst: MustParseAddr("10.1.0.2"),
+		SrcPort: 5555, DstPort: 80, Proto: ProtoTCP,
+	}
+	r := f.Reverse()
+	if r.Src != f.Dst || r.Dst != f.Src || r.SrcPort != f.DstPort || r.DstPort != f.SrcPort {
+		t.Errorf("Reverse() = %+v", r)
+	}
+	if r.Reverse() != f {
+		t.Error("double Reverse should be identity")
+	}
+}
+
+func TestFiveTupleHashDeterministic(t *testing.T) {
+	f := FiveTuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if f.Hash(42) != f.Hash(42) {
+		t.Error("hash must be deterministic")
+	}
+	if f.Hash(42) == f.Hash(43) {
+		t.Error("different seeds should almost surely differ")
+	}
+}
+
+func TestFiveTupleHashSpread(t *testing.T) {
+	// The hash drives probabilistic middlebox selection; verify that over
+	// many random tuples the top bits are roughly uniform across 8 buckets.
+	rng := rand.New(rand.NewSource(1))
+	const n = 8192
+	var buckets [8]int
+	for i := 0; i < n; i++ {
+		f := FiveTuple{
+			Src:     Addr(rng.Uint32()),
+			Dst:     Addr(rng.Uint32()),
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			Proto:   ProtoTCP,
+		}
+		buckets[f.Hash(7)%8]++
+	}
+	for i, c := range buckets {
+		if c < n/8-n/16 || c > n/8+n/16 {
+			t.Errorf("bucket %d has %d of %d items; distribution too skewed", i, c, n)
+		}
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	tests := []struct {
+		in   uint8
+		want string
+	}{
+		{ProtoAny, "any"}, {ProtoICMP, "icmp"}, {ProtoTCP, "tcp"}, {ProtoUDP, "udp"}, {89, "89"},
+	}
+	for _, tt := range tests {
+		if got := ProtoString(tt.in); got != tt.want {
+			t.Errorf("ProtoString(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFiveTupleString(t *testing.T) {
+	f := FiveTuple{
+		Src: MustParseAddr("10.0.0.1"), Dst: MustParseAddr("10.1.0.2"),
+		SrcPort: 5555, DstPort: 80, Proto: ProtoTCP,
+	}
+	want := "tcp 10.0.0.1:5555 -> 10.1.0.2:80"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

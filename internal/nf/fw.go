@@ -1,0 +1,67 @@
+package nf
+
+import (
+	"sdme/internal/packet"
+	"sdme/internal/policy"
+)
+
+// FirewallAction is a rule's disposition.
+type FirewallAction int
+
+const (
+	// Allow lets matching packets pass.
+	Allow FirewallAction = iota + 1
+	// Deny drops matching packets.
+	Deny
+)
+
+// FirewallRule pairs a traffic descriptor with a disposition. Rules are
+// evaluated first-match, like the policy table itself.
+type FirewallRule struct {
+	Desc   policy.Descriptor
+	Action FirewallAction
+}
+
+// Firewall is a stateful packet filter with first-match rules and a
+// default-allow disposition (the enforcement layer already selected the
+// traffic; the firewall's job here is the paper's FW action).
+type Firewall struct {
+	rules     []FirewallRule
+	processed int64
+	dropped   int64
+}
+
+var _ Function = (*Firewall)(nil)
+
+// NewFirewall creates a firewall with the given rule list (may be nil).
+func NewFirewall(rules []FirewallRule) *Firewall {
+	return &Firewall{rules: append([]FirewallRule(nil), rules...)}
+}
+
+// AddRule appends a rule.
+func (f *Firewall) AddRule(r FirewallRule) { f.rules = append(f.rules, r) }
+
+// Type implements Function.
+func (f *Firewall) Type() policy.FuncType { return policy.FuncFW }
+
+// Process implements Function: first matching rule decides; default allow.
+func (f *Firewall) Process(pkt *packet.Packet, _ int64) Verdict {
+	f.processed++
+	ft := pkt.FiveTuple()
+	for _, r := range f.rules {
+		if r.Desc.Matches(ft) {
+			if r.Action == Deny {
+				f.dropped++
+				return VerdictDrop
+			}
+			return VerdictPass
+		}
+	}
+	return VerdictPass
+}
+
+// Processed implements Function.
+func (f *Firewall) Processed() int64 { return f.processed }
+
+// Dropped returns how many packets the firewall denied.
+func (f *Firewall) Dropped() int64 { return f.dropped }

@@ -1,0 +1,108 @@
+package nf
+
+import (
+	"bytes"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/packet"
+	"sdme/internal/policy"
+)
+
+// Signature is one IDS content signature.
+type Signature struct {
+	Name    string
+	Pattern []byte
+}
+
+// DefaultSignatures returns a small built-in signature set; deployments
+// supply their own.
+func DefaultSignatures() []Signature {
+	return []Signature{
+		{Name: "exploit-shellcode-nop-sled", Pattern: []byte{0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90, 0x90}},
+		{Name: "sql-injection-union", Pattern: []byte("' UNION SELECT ")},
+		{Name: "path-traversal", Pattern: []byte("../../../../")},
+		{Name: "test-malware-marker", Pattern: []byte("EICAR-SDME-TEST")},
+	}
+}
+
+// Alert is one intrusion-detection event.
+type Alert struct {
+	Signature string
+	Flow      netaddr.FiveTuple
+	At        int64
+}
+
+// portScanThreshold is the number of distinct destination ports from one
+// source after which the scan detector raises an alert.
+const portScanThreshold = 32
+
+// IDS is a passive intrusion detection system: it scans payloads against
+// content signatures and tracks per-source destination-port fan-out to
+// flag port scans. Being passive, it always passes packets; its output is
+// the alert log.
+type IDS struct {
+	signatures []Signature
+	processed  int64
+	alerts     []Alert
+	// scanPorts tracks the set of destination ports each source touched.
+	scanPorts map[netaddr.Addr]map[uint16]struct{}
+	// scanAlerted dedups port-scan alerts per source.
+	scanAlerted map[netaddr.Addr]bool
+	// MaxAlerts bounds the alert log; older alerts are discarded first.
+	MaxAlerts int
+}
+
+var _ Function = (*IDS)(nil)
+
+// NewIDS creates an IDS with the given signature set.
+func NewIDS(sigs []Signature) *IDS {
+	return &IDS{
+		signatures:  append([]Signature(nil), sigs...),
+		scanPorts:   make(map[netaddr.Addr]map[uint16]struct{}),
+		scanAlerted: make(map[netaddr.Addr]bool),
+		MaxAlerts:   4096,
+	}
+}
+
+// Type implements Function.
+func (s *IDS) Type() policy.FuncType { return policy.FuncIDS }
+
+// Process implements Function: scan, record, always pass.
+func (s *IDS) Process(pkt *packet.Packet, now int64) Verdict {
+	s.processed++
+	ft := pkt.FiveTuple()
+
+	if len(pkt.Payload) > 0 {
+		for _, sig := range s.signatures {
+			if bytes.Contains(pkt.Payload, sig.Pattern) {
+				s.raise(Alert{Signature: sig.Name, Flow: ft, At: now})
+			}
+		}
+	}
+
+	ports := s.scanPorts[ft.Src]
+	if ports == nil {
+		ports = make(map[uint16]struct{})
+		s.scanPorts[ft.Src] = ports
+	}
+	ports[ft.DstPort] = struct{}{}
+	if len(ports) >= portScanThreshold && !s.scanAlerted[ft.Src] {
+		s.scanAlerted[ft.Src] = true
+		s.raise(Alert{Signature: "port-scan", Flow: ft, At: now})
+	}
+	return VerdictPass
+}
+
+func (s *IDS) raise(a Alert) {
+	if len(s.alerts) >= s.MaxAlerts {
+		s.alerts = s.alerts[1:]
+	}
+	s.alerts = append(s.alerts, a)
+}
+
+// Processed implements Function.
+func (s *IDS) Processed() int64 { return s.processed }
+
+// Alerts returns the alert log (oldest first). The slice is owned by the
+// IDS; callers must not mutate it.
+func (s *IDS) Alerts() []Alert { return s.alerts }

@@ -1,0 +1,91 @@
+package nf
+
+import (
+	"sdme/internal/netaddr"
+	"sdme/internal/packet"
+	"sdme/internal/policy"
+)
+
+// RateLimiter is an optional network function beyond the paper's four: a
+// token-bucket per-flow policer. It exists both as a useful middlebox and
+// as the reference example of extending the function set — register a
+// type with policy.RegisterFunc and hand the controller a FunctionFactory
+// that builds one of these.
+//
+// Time is the dataplane's int64 microsecond tick, so the limiter works
+// identically under the simulator's virtual clock and the live runtime's
+// wall clock.
+type RateLimiter struct {
+	funcType policy.FuncType
+	// rate is tokens (packets) per second; burst is the bucket depth.
+	rate  float64
+	burst float64
+
+	buckets   map[netaddr.FiveTuple]*bucket
+	processed int64
+	dropped   int64
+	// MaxFlows bounds the tracked flows; beyond it, new flows pass
+	// unpoliced (fail-open, like the flow table's sketch fallback).
+	MaxFlows int
+}
+
+type bucket struct {
+	tokens float64
+	last   int64
+}
+
+// NewRateLimiter creates a limiter enforcing ratePPS with the given burst
+// for the registered function type.
+func NewRateLimiter(t policy.FuncType, ratePPS, burst float64) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		funcType: t,
+		rate:     ratePPS,
+		burst:    burst,
+		buckets:  make(map[netaddr.FiveTuple]*bucket),
+		MaxFlows: 1 << 16,
+	}
+}
+
+// Type implements Function.
+func (r *RateLimiter) Type() policy.FuncType { return r.funcType }
+
+// Process implements Function: token-bucket admission per flow.
+func (r *RateLimiter) Process(pkt *packet.Packet, now int64) Verdict {
+	r.processed++
+	ft := pkt.FiveTuple()
+	b, ok := r.buckets[ft]
+	if !ok {
+		if len(r.buckets) >= r.MaxFlows {
+			return VerdictPass
+		}
+		b = &bucket{tokens: r.burst, last: now}
+		r.buckets[ft] = b
+	}
+	// Refill.
+	elapsed := float64(now-b.last) / 1e6
+	if elapsed > 0 {
+		b.tokens += elapsed * r.rate
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		r.dropped++
+		return VerdictDrop
+	}
+	b.tokens--
+	return VerdictPass
+}
+
+// Processed implements Function.
+func (r *RateLimiter) Processed() int64 { return r.processed }
+
+// Dropped returns how many packets the limiter policed away.
+func (r *RateLimiter) Dropped() int64 { return r.dropped }
+
+// TrackedFlows returns the number of flows with live buckets.
+func (r *RateLimiter) TrackedFlows() int { return len(r.buckets) }

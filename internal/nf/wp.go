@@ -1,0 +1,108 @@
+package nf
+
+import (
+	"container/list"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/packet"
+	"sdme/internal/policy"
+)
+
+// DefaultCacheCapacity is the web proxy's default object capacity.
+const DefaultCacheCapacity = 4096
+
+// objectKey identifies a cacheable web object: the server plus a content
+// identifier. The content identifier comes from the request payload when
+// present (a hash of the "URL" bytes) and falls back to the server tuple
+// alone, which makes repeated requests to the same object cache-hit.
+type objectKey struct {
+	Server  netaddr.Addr
+	Port    uint16
+	Content uint64
+}
+
+// WebProxy is a caching forward proxy (the paper's WP function). A
+// request whose object is cached is served locally — the §III-F example's
+// "if the current version of pages requested is already cached, the
+// request is honored" — which the enforcement layer sees as VerdictServe
+// and terminates the chain. Misses insert the object and pass the packet
+// onward to the real server.
+type WebProxy struct {
+	capacity  int
+	lru       *list.List // front = most recent; values are objectKey
+	index     map[objectKey]*list.Element
+	processed int64
+	hits      int64
+	misses    int64
+}
+
+var _ Function = (*WebProxy)(nil)
+
+// NewWebProxy creates a proxy with the given cache capacity (objects).
+func NewWebProxy(capacity int) *WebProxy {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &WebProxy{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[objectKey]*list.Element),
+	}
+}
+
+// Type implements Function.
+func (w *WebProxy) Type() policy.FuncType { return policy.FuncWP }
+
+func contentHash(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+func keyOf(pkt *packet.Packet) objectKey {
+	ft := pkt.FiveTuple()
+	k := objectKey{Server: ft.Dst, Port: ft.DstPort}
+	if len(pkt.Payload) > 0 {
+		k.Content = contentHash(pkt.Payload)
+	}
+	return k
+}
+
+// Process implements Function: cache hit serves locally, miss caches and
+// passes.
+func (w *WebProxy) Process(pkt *packet.Packet, _ int64) Verdict {
+	w.processed++
+	k := keyOf(pkt)
+	if el, ok := w.index[k]; ok {
+		w.lru.MoveToFront(el)
+		w.hits++
+		return VerdictServe
+	}
+	w.misses++
+	w.index[k] = w.lru.PushFront(k)
+	if w.lru.Len() > w.capacity {
+		oldest := w.lru.Back()
+		w.lru.Remove(oldest)
+		delete(w.index, oldest.Value.(objectKey))
+	}
+	return VerdictPass
+}
+
+// Processed implements Function.
+func (w *WebProxy) Processed() int64 { return w.processed }
+
+// Hits returns the cache hit count.
+func (w *WebProxy) Hits() int64 { return w.hits }
+
+// Misses returns the cache miss count.
+func (w *WebProxy) Misses() int64 { return w.misses }
+
+// CacheLen returns the number of cached objects.
+func (w *WebProxy) CacheLen() int { return w.lru.Len() }

@@ -1,0 +1,433 @@
+// Package ospf implements the traditional routing substrate the paper
+// builds on (§II): a link-state interior gateway protocol in the style of
+// OSPF. Every routing-capable node originates a link-state advertisement
+// (LSA) describing its links and the address prefixes it can deliver
+// locally (its stub subnet, its own address, and the addresses of attached
+// middleboxes/proxies/hosts). LSAs are flooded hop by hop with sequence
+// numbers; each router keeps a link-state database (LSDB) and, once
+// flooding quiesces, runs its own shortest-path-first computation over the
+// LSDB — not over the global topology object — to build a routing table.
+//
+// The point of doing this "properly" instead of handing every router a
+// god's-eye Dijkstra is fidelity to the paper's premise: routers are
+// policy-oblivious devices that converge on shortest paths by distributed
+// protocol, and the enforcement layer must work with whatever paths that
+// yields, including after link failures and reconvergence.
+package ospf
+
+import (
+	"fmt"
+	"sort"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/topo"
+)
+
+// LSALink is one adjacency reported in an LSA.
+type LSALink struct {
+	Neighbor topo.NodeID
+	Cost     float64
+}
+
+// LSA is a router's link-state advertisement. Seq orders re-originations;
+// higher wins, exactly as in OSPF.
+type LSA struct {
+	Origin   topo.NodeID
+	Seq      uint32
+	Links    []LSALink
+	Prefixes []netaddr.Prefix
+}
+
+func (l LSA) clone() LSA {
+	out := l
+	out.Links = append([]LSALink(nil), l.Links...)
+	out.Prefixes = append([]netaddr.Prefix(nil), l.Prefixes...)
+	return out
+}
+
+// Router is one protocol participant. It owns an LSDB and a routing table
+// derived from it. Routers are driven by the Domain; they are not safe
+// for concurrent use.
+type Router struct {
+	ID   topo.NodeID
+	lsdb map[topo.NodeID]LSA
+	// pending holds LSAs accepted since the last flood round, to be
+	// forwarded to neighbors.
+	pending []LSA
+	table   *Table
+	seq     uint32
+}
+
+// LSDBSize returns the number of LSAs this router currently stores.
+func (r *Router) LSDBSize() int { return len(r.lsdb) }
+
+// install accepts an LSA if it is newer than what the LSDB holds and
+// queues it for forwarding. It reports whether the LSA was accepted.
+func (r *Router) install(l LSA) bool {
+	if cur, ok := r.lsdb[l.Origin]; ok && cur.Seq >= l.Seq {
+		return false
+	}
+	r.lsdb[l.Origin] = l
+	r.pending = append(r.pending, l)
+	return true
+}
+
+// Table is a longest-prefix-match routing table. Entries map a prefix to
+// the next-hop node (a directly connected neighbor) or to local delivery.
+type Table struct {
+	// byBits[b] maps masked prefixes of length b to next hops.
+	byBits [33]map[netaddr.Prefix]Route
+	size   int
+}
+
+// Route is a routing-table entry target.
+type Route struct {
+	// NextHop is the neighbor to forward to. When Local is true, NextHop
+	// is the attached node to deliver to (or the router itself).
+	NextHop topo.NodeID
+	Local   bool
+	Cost    float64
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table { return &Table{} }
+
+// Insert adds or replaces the route for a prefix.
+func (t *Table) Insert(p netaddr.Prefix, r Route) {
+	b := p.Bits()
+	if t.byBits[b] == nil {
+		t.byBits[b] = make(map[netaddr.Prefix]Route)
+	}
+	if _, exists := t.byBits[b][p]; !exists {
+		t.size++
+	}
+	t.byBits[b][p] = r
+}
+
+// Lookup finds the longest matching prefix for addr.
+func (t *Table) Lookup(addr netaddr.Addr) (Route, bool) {
+	for b := 32; b >= 0; b-- {
+		m := t.byBits[b]
+		if len(m) == 0 {
+			continue
+		}
+		if r, ok := m[netaddr.PrefixFrom(addr, b)]; ok {
+			return r, true
+		}
+	}
+	return Route{}, false
+}
+
+// Size returns the number of installed prefixes.
+func (t *Table) Size() int { return t.size }
+
+// Entries returns all (prefix, route) pairs sorted by prefix for
+// deterministic display in tools and tests.
+func (t *Table) Entries() []TableEntry {
+	var out []TableEntry
+	for b := 0; b <= 32; b++ {
+		for p, r := range t.byBits[b] {
+			out = append(out, TableEntry{Prefix: p, Route: r})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Bits() != out[j].Prefix.Bits() {
+			return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+		}
+		return out[i].Prefix.Addr() < out[j].Prefix.Addr()
+	})
+	return out
+}
+
+// TableEntry is one displayed routing-table row.
+type TableEntry struct {
+	Prefix netaddr.Prefix
+	Route  Route
+}
+
+// FloodStats reports the cost of a convergence run.
+type FloodStats struct {
+	Rounds   int
+	Messages int // LSA copies sent router-to-router
+}
+
+// Domain is an OSPF routing domain over one topology. It owns a Router
+// per routing-capable node and simulates flooding synchronously in
+// rounds: deterministic, and sufficient to study converged behaviour and
+// reconvergence after failures.
+type Domain struct {
+	g       *topo.Graph
+	routers map[topo.NodeID]*Router
+	// downLinks marks failed link indexes.
+	downLinks map[int]bool
+}
+
+// NewDomain builds a domain over g, originates every router's initial LSA,
+// and returns it unconverged; call Converge before routing.
+func NewDomain(g *topo.Graph) *Domain {
+	d := &Domain{
+		g:         g,
+		routers:   make(map[topo.NodeID]*Router),
+		downLinks: make(map[int]bool),
+	}
+	for _, id := range g.Routers() {
+		d.routers[id] = &Router{ID: id, lsdb: make(map[topo.NodeID]LSA)}
+	}
+	for _, r := range d.routers {
+		d.originate(r)
+	}
+	return d
+}
+
+// originate rebuilds a router's own LSA from current link state and
+// installs it locally (which also queues it for flooding).
+func (d *Domain) originate(r *Router) {
+	r.seq++
+	l := LSA{Origin: r.ID, Seq: r.seq}
+	node := d.g.Node(r.ID)
+
+	for _, adj := range d.g.Neighbors(r.ID) {
+		if d.downLinks[adj.LinkIdx] {
+			continue
+		}
+		n := d.g.Node(adj.Neighbor)
+		if n.Kind.IsRouter() {
+			l.Links = append(l.Links, LSALink{Neighbor: n.ID, Cost: d.g.Link(adj.LinkIdx).Cost})
+		} else {
+			// Attached devices are stub prefixes, not transit links.
+			if !n.Addr.IsZero() {
+				l.Prefixes = append(l.Prefixes, netaddr.PrefixFrom(n.Addr, 32))
+			}
+		}
+	}
+	if !node.Addr.IsZero() {
+		l.Prefixes = append(l.Prefixes, netaddr.PrefixFrom(node.Addr, 32))
+	}
+	if node.Subnet.Bits() > 0 || !node.Subnet.Addr().IsZero() {
+		l.Prefixes = append(l.Prefixes, node.Subnet)
+	}
+	sort.Slice(l.Links, func(i, j int) bool { return l.Links[i].Neighbor < l.Links[j].Neighbor })
+	r.install(l)
+}
+
+// Converge floods pending LSAs in synchronous rounds until no router has
+// anything new, then recomputes every routing table. It returns flooding
+// statistics.
+func (d *Domain) Converge() FloodStats {
+	var stats FloodStats
+	ids := topo.SortedIDs(d.g.Routers())
+	for {
+		type delivery struct {
+			to  topo.NodeID
+			lsa LSA
+		}
+		var deliveries []delivery
+		for _, id := range ids {
+			r := d.routers[id]
+			if len(r.pending) == 0 {
+				continue
+			}
+			for _, adj := range d.g.Neighbors(id) {
+				if d.downLinks[adj.LinkIdx] {
+					continue
+				}
+				nb := d.g.Node(adj.Neighbor)
+				if !nb.Kind.IsRouter() {
+					continue
+				}
+				for _, l := range r.pending {
+					deliveries = append(deliveries, delivery{to: nb.ID, lsa: l.clone()})
+				}
+			}
+			r.pending = r.pending[:0]
+		}
+		if len(deliveries) == 0 {
+			break
+		}
+		stats.Rounds++
+		stats.Messages += len(deliveries)
+		for _, dv := range deliveries {
+			d.routers[dv.to].install(dv.lsa)
+		}
+	}
+	for _, id := range ids {
+		d.computeTable(d.routers[id])
+	}
+	return stats
+}
+
+// computeTable runs SPF over the router's LSDB and installs routes for
+// every advertised prefix.
+func (d *Domain) computeTable(r *Router) {
+	// Build the LSDB view: an adjacency is usable only if both endpoints
+	// advertise it (OSPF's bidirectional check).
+	type edge struct {
+		to   topo.NodeID
+		cost float64
+	}
+	adj := make(map[topo.NodeID][]edge, len(r.lsdb))
+	advertises := func(from, to topo.NodeID) (float64, bool) {
+		l, ok := r.lsdb[from]
+		if !ok {
+			return 0, false
+		}
+		for _, lk := range l.Links {
+			if lk.Neighbor == to {
+				return lk.Cost, true
+			}
+		}
+		return 0, false
+	}
+	for origin, l := range r.lsdb {
+		for _, lk := range l.Links {
+			if _, ok := advertises(lk.Neighbor, origin); !ok {
+				continue
+			}
+			adj[origin] = append(adj[origin], edge{to: lk.Neighbor, cost: lk.Cost})
+		}
+	}
+	for o := range adj {
+		es := adj[o]
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+
+	// Dijkstra over the LSDB graph with deterministic tie-breaks.
+	dist := map[topo.NodeID]float64{r.ID: 0}
+	firstHop := map[topo.NodeID]topo.NodeID{}
+	visited := map[topo.NodeID]bool{}
+	for {
+		var u topo.NodeID = topo.InvalidNode
+		best := -1.0
+		for id, dd := range dist {
+			if visited[id] {
+				continue
+			}
+			if u == topo.InvalidNode || dd < best || (dd == best && id < u) {
+				u, best = id, dd
+			}
+		}
+		if u == topo.InvalidNode {
+			break
+		}
+		visited[u] = true
+		for _, e := range adj[u] {
+			nd := dist[u] + e.cost
+			cur, seen := dist[e.to]
+			fh := firstHop[u]
+			if u == r.ID {
+				fh = e.to
+			}
+			if !seen || nd < cur || (nd == cur && fh < firstHop[e.to]) {
+				dist[e.to] = nd
+				firstHop[e.to] = fh
+			}
+		}
+	}
+
+	t := NewTable()
+	for origin, l := range r.lsdb {
+		var rt Route
+		if origin == r.ID {
+			rt = Route{NextHop: r.ID, Local: true, Cost: 0}
+		} else {
+			dd, ok := dist[origin]
+			if !ok {
+				continue // unreachable after failures
+			}
+			rt = Route{NextHop: firstHop[origin], Cost: dd}
+		}
+		for _, p := range l.Prefixes {
+			// On the originating router, attached-device /32 prefixes are
+			// local deliveries to the device node itself.
+			entry := rt
+			if origin == r.ID && p.Bits() == 32 {
+				if dev := d.g.NodeByAddr(p.Addr()); dev != topo.InvalidNode && dev != r.ID {
+					entry = Route{NextHop: dev, Local: true}
+				}
+			}
+			t.Insert(p, entry)
+		}
+	}
+	r.table = t
+}
+
+// Router returns the protocol instance for a node, or nil for non-routers.
+func (d *Domain) Router(id topo.NodeID) *Router {
+	return d.routers[id]
+}
+
+// Table returns the converged routing table of a router. It panics if the
+// node is not a router or Converge has not run — both caller bugs.
+func (d *Domain) Table(id topo.NodeID) *Table {
+	r := d.routers[id]
+	if r == nil {
+		panic(fmt.Sprintf("ospf: node %d is not a router", id))
+	}
+	if r.table == nil {
+		panic(fmt.Sprintf("ospf: router %d queried before Converge", id))
+	}
+	return r.table
+}
+
+// FailLink marks a link down and re-originates the LSAs of its endpoints.
+// Call Converge afterwards to reflood and recompute.
+func (d *Domain) FailLink(linkIdx int) {
+	if d.downLinks[linkIdx] {
+		return
+	}
+	d.downLinks[linkIdx] = true
+	d.reoriginateEndpoints(linkIdx)
+}
+
+// RestoreLink brings a failed link back.
+func (d *Domain) RestoreLink(linkIdx int) {
+	if !d.downLinks[linkIdx] {
+		return
+	}
+	delete(d.downLinks, linkIdx)
+	d.reoriginateEndpoints(linkIdx)
+}
+
+func (d *Domain) reoriginateEndpoints(linkIdx int) {
+	l := d.g.Link(linkIdx)
+	for _, end := range []topo.NodeID{l.A, l.B} {
+		if r, ok := d.routers[end]; ok {
+			d.originate(r)
+		}
+	}
+}
+
+// LinkIsDown reports whether the link index is currently failed.
+func (d *Domain) LinkIsDown(linkIdx int) bool { return d.downLinks[linkIdx] }
+
+// NextHop resolves the forwarding decision of router id for a destination
+// address: the neighbor to forward to, or local delivery. ok is false
+// when the router has no route.
+func (d *Domain) NextHop(id topo.NodeID, dst netaddr.Addr) (Route, bool) {
+	return d.Table(id).Lookup(dst)
+}
+
+// ForwardPath traces the hop-by-hop path a packet to dst takes starting at
+// router start, using only the routers' own tables — the ground truth the
+// enforcement layer rides on. It returns the node sequence ending at the
+// delivering router (and the attached device, if the destination is one),
+// or an error on routing loops or blackholes.
+func (d *Domain) ForwardPath(start topo.NodeID, dst netaddr.Addr) ([]topo.NodeID, error) {
+	path := []topo.NodeID{start}
+	cur := start
+	for steps := 0; steps <= d.g.NumNodes()+1; steps++ {
+		rt, ok := d.Table(cur).Lookup(dst)
+		if !ok {
+			return path, fmt.Errorf("ospf: router %d has no route to %v", cur, dst)
+		}
+		if rt.Local {
+			if rt.NextHop != cur {
+				path = append(path, rt.NextHop)
+			}
+			return path, nil
+		}
+		cur = rt.NextHop
+		path = append(path, cur)
+	}
+	return path, fmt.Errorf("ospf: routing loop toward %v: %v", dst, path)
+}

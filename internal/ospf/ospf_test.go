@@ -1,0 +1,368 @@
+package ospf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/route"
+	"sdme/internal/topo"
+)
+
+func converged(t *testing.T, g *topo.Graph) *Domain {
+	t.Helper()
+	d := NewDomain(g)
+	stats := d.Converge()
+	if stats.Rounds == 0 && len(g.Routers()) > 1 {
+		t.Fatal("convergence with multiple routers should take at least one round")
+	}
+	return d
+}
+
+func TestTableLPM(t *testing.T) {
+	tbl := NewTable()
+	tbl.Insert(netaddr.MustParsePrefix("10.0.0.0/8"), Route{NextHop: 1})
+	tbl.Insert(netaddr.MustParsePrefix("10.4.0.0/16"), Route{NextHop: 2})
+	tbl.Insert(netaddr.MustParsePrefix("10.4.0.7/32"), Route{NextHop: 3, Local: true})
+
+	tests := []struct {
+		addr string
+		want topo.NodeID
+	}{
+		{addr: "10.4.0.7", want: 3},
+		{addr: "10.4.9.9", want: 2},
+		{addr: "10.5.0.1", want: 1},
+	}
+	for _, tt := range tests {
+		r, ok := tbl.Lookup(netaddr.MustParseAddr(tt.addr))
+		if !ok || r.NextHop != tt.want {
+			t.Errorf("Lookup(%s) = (%+v, %v), want next hop %v", tt.addr, r, ok, tt.want)
+		}
+	}
+	if _, ok := tbl.Lookup(netaddr.MustParseAddr("99.0.0.1")); ok {
+		t.Error("lookup of unrouted address should miss")
+	}
+	if tbl.Size() != 3 {
+		t.Errorf("Size = %d, want 3", tbl.Size())
+	}
+	// Replacement does not grow the table.
+	tbl.Insert(netaddr.MustParsePrefix("10.0.0.0/8"), Route{NextHop: 9})
+	if tbl.Size() != 3 {
+		t.Errorf("Size after replace = %d, want 3", tbl.Size())
+	}
+	if es := tbl.Entries(); len(es) != 3 || es[0].Prefix.Bits() != 8 {
+		t.Errorf("Entries = %+v", es)
+	}
+}
+
+func TestConvergenceMatchesCentralizedDijkstra(t *testing.T) {
+	// The distributed protocol must land on the same distances as a
+	// centralized shortest-path run over the true topology.
+	rng := rand.New(rand.NewSource(4))
+	g := topo.Campus(topo.CampusConfig{WithProxies: true}, rng)
+	d := converged(t, g)
+	ap := route.NewAllPairs(g, route.RouterTransitOnly(g))
+
+	routers := g.Routers()
+	for _, src := range routers {
+		for _, dst := range routers {
+			if src == dst {
+				continue
+			}
+			rt, ok := d.Table(src).Lookup(g.Node(dst).Addr)
+			want := ap.Dist(src, dst)
+			if !ok {
+				if !math.IsInf(want, 1) {
+					t.Fatalf("router %v: no route to %v but centralized dist %v", src, dst, want)
+				}
+				continue
+			}
+			if rt.Cost != want {
+				t.Errorf("router %v -> %v: protocol cost %v, centralized %v", src, dst, rt.Cost, want)
+			}
+		}
+	}
+}
+
+func TestEveryRouterLearnsEverySubnet(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := topo.Campus(topo.CampusConfig{WithProxies: true}, rng)
+	d := converged(t, g)
+	edges := g.NodesOfKind(topo.KindEdgeRouter)
+	for _, r := range g.Routers() {
+		for i := range edges {
+			host := topo.HostAddr(i+1, 3)
+			if _, ok := d.Table(r).Lookup(host); !ok {
+				t.Errorf("router %v has no route to host %v in subnet %d", r, host, i+1)
+			}
+		}
+	}
+}
+
+func TestForwardPathDeliversToDevice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := topo.Campus(topo.CampusConfig{WithProxies: true}, rng)
+	core := g.NodesOfKind(topo.KindCoreRouter)[3]
+	mb := topo.AttachMiddlebox(g, core, 1, "ids1")
+	d := converged(t, g)
+
+	start := g.NodesOfKind(topo.KindEdgeRouter)[0]
+	path, err := d.ForwardPath(start, g.Node(mb).Addr)
+	if err != nil {
+		t.Fatalf("ForwardPath: %v", err)
+	}
+	if path[len(path)-1] != mb {
+		t.Fatalf("path %v should end at middlebox %v", path, mb)
+	}
+	if path[len(path)-2] != core {
+		t.Fatalf("path %v should deliver via attachment router %v", path, core)
+	}
+	// Interior nodes are routers only.
+	for _, n := range path[:len(path)-1] {
+		if !g.Node(n).Kind.IsRouter() {
+			t.Errorf("non-router %v on forwarding path %v", n, path)
+		}
+	}
+}
+
+func TestForwardPathNoRoute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := topo.Campus(topo.CampusConfig{}, rng)
+	d := converged(t, g)
+	start := g.Routers()[0]
+	if _, err := d.ForwardPath(start, netaddr.MustParseAddr("203.0.113.9")); err == nil {
+		t.Error("expected error for unrouted destination")
+	}
+}
+
+func TestReconvergenceAfterLinkFailure(t *testing.T) {
+	// Line a-b-c plus backup a-d-e-c: failing a-b must reroute a->c via d.
+	g := topo.NewGraph()
+	mk := func(name string) topo.NodeID {
+		return g.AddNode(topo.Node{
+			Name: name, Kind: topo.KindCoreRouter, Attach: topo.InvalidNode,
+			Addr: netaddr.MustParseAddr("172.16.1." + string(rune('0'+g.NumNodes()+1))),
+		})
+	}
+	a, b, c, dd, e := mk("a"), mk("b"), mk("c"), mk("d"), mk("e")
+	lAB := g.AddLink(topo.Link{A: a, B: b})
+	g.AddLink(topo.Link{A: b, B: c})
+	g.AddLink(topo.Link{A: a, B: dd})
+	g.AddLink(topo.Link{A: dd, B: e})
+	g.AddLink(topo.Link{A: e, B: c})
+
+	d := converged(t, g)
+	cAddr := g.Node(c).Addr
+	rt, ok := d.Table(a).Lookup(cAddr)
+	if !ok || rt.NextHop != b || rt.Cost != 2 {
+		t.Fatalf("before failure: route = %+v, ok=%v; want via %v cost 2", rt, ok, b)
+	}
+
+	d.FailLink(lAB)
+	if !d.LinkIsDown(lAB) {
+		t.Fatal("link should be down")
+	}
+	d.Converge()
+	rt, ok = d.Table(a).Lookup(cAddr)
+	if !ok || rt.NextHop != dd || rt.Cost != 3 {
+		t.Fatalf("after failure: route = %+v, ok=%v; want via %v cost 3", rt, ok, dd)
+	}
+
+	d.RestoreLink(lAB)
+	d.Converge()
+	rt, ok = d.Table(a).Lookup(cAddr)
+	if !ok || rt.NextHop != b || rt.Cost != 2 {
+		t.Fatalf("after restore: route = %+v, ok=%v; want via %v cost 2", rt, ok, b)
+	}
+}
+
+func TestPartitionYieldsNoRoute(t *testing.T) {
+	g := topo.NewGraph()
+	a := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode, Addr: netaddr.MustParseAddr("172.16.1.1")})
+	b := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode, Addr: netaddr.MustParseAddr("172.16.1.2")})
+	l := g.AddLink(topo.Link{A: a, B: b})
+	d := converged(t, g)
+	if _, ok := d.Table(a).Lookup(g.Node(b).Addr); !ok {
+		t.Fatal("route should exist before partition")
+	}
+	d.FailLink(l)
+	d.Converge()
+	if _, ok := d.Table(a).Lookup(g.Node(b).Addr); ok {
+		t.Error("route should vanish after partition")
+	}
+}
+
+func TestIdempotentConverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := topo.Campus(topo.CampusConfig{}, rng)
+	d := converged(t, g)
+	stats := d.Converge() // nothing new to flood
+	if stats.Rounds != 0 || stats.Messages != 0 {
+		t.Errorf("second Converge should be a no-op, got %+v", stats)
+	}
+}
+
+func TestLSDBComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := topo.Campus(topo.CampusConfig{}, rng)
+	d := converged(t, g)
+	want := len(g.Routers())
+	for _, id := range g.Routers() {
+		if got := d.Router(id).LSDBSize(); got != want {
+			t.Errorf("router %v LSDB has %d LSAs, want %d", id, got, want)
+		}
+	}
+}
+
+func TestNoForwardingLoopsOnWaxman(t *testing.T) {
+	// Property over a random topology: hop-by-hop forwarding from every
+	// router to every subnet terminates (ForwardPath errors on loops).
+	rng := rand.New(rand.NewSource(10))
+	g := topo.Waxman(topo.WaxmanConfig{EdgeRouters: 40, CoreRouters: 10}, rng)
+	d := converged(t, g)
+	edges := g.NodesOfKind(topo.KindEdgeRouter)
+	for _, r := range g.Routers() {
+		for i := range edges {
+			dst := topo.HostAddr(i+1, 1)
+			if _, err := d.ForwardPath(r, dst); err != nil {
+				t.Fatalf("router %v to subnet %d: %v", r, i+1, err)
+			}
+		}
+	}
+}
+
+func TestQueriesBeforeConvergePanic(t *testing.T) {
+	g := topo.NewGraph()
+	a := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	d := NewDomain(g)
+	defer func() {
+		if recover() == nil {
+			t.Error("Table before Converge should panic")
+		}
+	}()
+	d.Table(a)
+}
+
+func TestNonRouterTablePanics(t *testing.T) {
+	g := topo.NewGraph()
+	a := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	m := g.AddNode(topo.Node{Kind: topo.KindMiddlebox, Attach: a})
+	g.AddLink(topo.Link{A: a, B: m})
+	d := NewDomain(g)
+	d.Converge()
+	defer func() {
+		if recover() == nil {
+			t.Error("Table of a middlebox should panic")
+		}
+	}()
+	d.Table(m)
+}
+
+func BenchmarkConvergeCampus(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := topo.Campus(topo.CampusConfig{WithProxies: true}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDomain(g)
+		d.Converge()
+	}
+}
+
+func BenchmarkConvergeWaxman(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := topo.Waxman(topo.WaxmanConfig{}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDomain(g)
+		d.Converge()
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := topo.Campus(topo.CampusConfig{WithProxies: true}, rng)
+	d := NewDomain(g)
+	d.Converge()
+	tbl := d.Table(g.Routers()[0])
+	dst := topo.HostAddr(3, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Lookup(dst); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+func TestReconvergenceMatchesCentralizedAfterRandomFailures(t *testing.T) {
+	// Property: after any sequence of random link failures that keeps
+	// the routers connected, the reconverged distributed tables agree
+	// with a centralized Dijkstra over the surviving topology.
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 8; trial++ {
+		g := topo.Waxman(topo.WaxmanConfig{EdgeRouters: 24, CoreRouters: 8}, rng)
+		d := NewDomain(g)
+		d.Converge()
+
+		// Fail up to 3 random router-router links, skipping cuts.
+		failed := map[int]bool{}
+		for tries := 0; tries < 10 && len(failed) < 3; tries++ {
+			idx := rng.Intn(g.NumLinks())
+			l := g.Link(idx)
+			if failed[idx] || !g.Node(l.A).Kind.IsRouter() || !g.Node(l.B).Kind.IsRouter() {
+				continue
+			}
+			d.FailLink(idx)
+			d.Converge()
+			// Reject the failure if it partitioned the routers (some
+			// router loses a route to another's address).
+			partitioned := false
+			routers := g.Routers()
+			for _, r := range routers {
+				if _, ok := d.Table(routers[0]).Lookup(g.Node(r).Addr); !ok {
+					partitioned = true
+					break
+				}
+			}
+			if partitioned {
+				d.RestoreLink(idx)
+				d.Converge()
+				continue
+			}
+			failed[idx] = true
+		}
+
+		// Centralized reference over the surviving graph: rebuild a graph
+		// without the failed links.
+		ref := topo.NewGraph()
+		for i := 0; i < g.NumNodes(); i++ {
+			ref.AddNode(g.Node(topo.NodeID(i)))
+		}
+		for i := 0; i < g.NumLinks(); i++ {
+			if !failed[i] {
+				ref.AddLink(g.Link(i))
+			}
+		}
+		ap := route.NewAllPairs(ref, route.RouterTransitOnly(ref))
+		for _, src := range g.Routers() {
+			for _, dst := range g.Routers() {
+				if src == dst {
+					continue
+				}
+				rt, ok := d.Table(src).Lookup(g.Node(dst).Addr)
+				want := ap.Dist(src, dst)
+				if !ok {
+					if !math.IsInf(want, 1) {
+						t.Fatalf("trial %d: no route %v->%v but centralized dist %v (failed %v)",
+							trial, src, dst, want, failed)
+					}
+					continue
+				}
+				if rt.Cost != want {
+					t.Fatalf("trial %d: %v->%v cost %v, centralized %v (failed %v)",
+						trial, src, dst, rt.Cost, want, failed)
+				}
+			}
+		}
+	}
+}

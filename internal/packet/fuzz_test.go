@@ -1,0 +1,93 @@
+package packet
+
+import (
+	"testing"
+
+	"sdme/internal/netaddr"
+)
+
+// FuzzUnmarshal hardens the wire parser the live runtime exposes to the
+// network: arbitrary bytes must never panic, and anything that parses
+// must re-marshal to an equivalent packet.
+func FuzzUnmarshal(f *testing.F) {
+	p := New(netaddr.FiveTuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: 6}, 5)
+	p.Payload = []byte("hello")
+	f.Add(p.Marshal())
+	if err := p.Encapsulate(9, 10); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(p.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{wireFlagOuter})
+	f.Add(make([]byte, 1+HeaderLen+4))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		back, err := Unmarshal(pkt.Marshal())
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshaled packet failed: %v", err)
+		}
+		if back.Inner != pkt.Inner {
+			t.Fatalf("inner header changed across round trip: %+v vs %+v", back.Inner, pkt.Inner)
+		}
+		if (back.Outer == nil) != (pkt.Outer == nil) {
+			t.Fatal("outer header presence changed across round trip")
+		}
+		if back.Outer != nil && *back.Outer != *pkt.Outer {
+			t.Fatalf("outer header changed across round trip")
+		}
+		if back.PayloadLen != pkt.PayloadLen {
+			t.Fatalf("payload length changed: %d vs %d", back.PayloadLen, pkt.PayloadLen)
+		}
+	})
+}
+
+// FuzzFragmentReassemble checks that any fragmentable packet's fragments
+// cover exactly the original bytes and reassemble.
+func FuzzFragmentReassemble(f *testing.F) {
+	f.Add(uint16(3000), uint16(576), false)
+	f.Add(uint16(8000), uint16(1500), true)
+	f.Add(uint16(100), uint16(68), false)
+	f.Fuzz(func(t *testing.T, payload, mtu uint16, encap bool) {
+		if mtu < HeaderLen+8 {
+			return
+		}
+		p := New(netaddr.FiveTuple{Src: 1, Dst: 2, Proto: 6}, int(payload))
+		if encap {
+			if err := p.Encapsulate(3, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		id := uint16(0)
+		frags, err := p.Fragment(int(mtu), func() uint16 { id++; return id })
+		if err != nil {
+			return // DF or tiny MTU: refusal is the contract
+		}
+		if len(frags) == 1 {
+			return
+		}
+		total := 0
+		r := NewReassembler()
+		done := false
+		for _, fr := range frags {
+			if fr.Size() > int(mtu) {
+				t.Fatalf("fragment size %d exceeds MTU %d", fr.Size(), mtu)
+			}
+			total += fr.PayloadLen
+			done = r.Offer(fr)
+		}
+		inner := int(payload)
+		if encap {
+			inner += HeaderLen
+		}
+		if total != inner {
+			t.Fatalf("fragments carry %d bytes, want %d", total, inner)
+		}
+		if !done {
+			t.Fatal("reassembly did not complete after all fragments")
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package policy_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+)
+
+// Example_parseAndMatch loads a Table I-style rule file and classifies a
+// flow with first-match semantics.
+func Example_parseAndMatch() {
+	rules := `
+# subnet a = 128.40.0.0/16
+128.40.0.0/16  128.40.0.0/16  *  80  permit      # internal web
+128.40.0.0/16  *              *  80  FW,IDS,WP   # outbound web
+`
+	tbl := policy.NewTable()
+	if err := policy.ParseRules(strings.NewReader(rules), tbl); err != nil {
+		panic(err)
+	}
+	outbound := netaddr.FiveTuple{
+		Src: netaddr.MustParseAddr("128.40.1.10"), Dst: netaddr.MustParseAddr("8.8.8.8"),
+		SrcPort: 51000, DstPort: 80, Proto: netaddr.ProtoTCP,
+	}
+	p := tbl.Match(outbound)
+	fmt.Println(p.Actions)
+	// Output:
+	// FW -> IDS -> WP
+}
+
+// Example_lint shows the first-match analyzer flagging a dead rule.
+func Example_lint() {
+	tbl := policy.NewTable()
+	wide := policy.NewDescriptor()
+	tbl.Add(wide, policy.ActionList{policy.FuncFW})
+	narrow := policy.NewDescriptor()
+	narrow.DstPort = netaddr.SinglePort(22)
+	tbl.Add(narrow, policy.ActionList{policy.FuncIDS})
+
+	for _, f := range tbl.Lint() {
+		fmt.Println(f.Kind)
+	}
+	// Output:
+	// shadowed
+}

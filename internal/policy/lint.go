@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"fmt"
+
+	"sdme/internal/netaddr"
+)
+
+// Lint findings for ordered first-match policy lists. Because matching is
+// first-match (§II), an earlier policy whose descriptor subsumes a later
+// one makes the later policy dead — a classic operator error this
+// analyzer surfaces before the controller distributes P_x.
+
+// Subsumes reports whether every packet matching the other descriptor
+// also matches d (d is a superset).
+func (d Descriptor) Subsumes(other Descriptor) bool {
+	return prefixSubsumes(d.Src, other.Src) &&
+		prefixSubsumes(d.Dst, other.Dst) &&
+		portSubsumes(d.SrcPort, other.SrcPort) &&
+		portSubsumes(d.DstPort, other.DstPort) &&
+		(d.Proto == netaddr.ProtoAny || d.Proto == other.Proto)
+}
+
+func prefixSubsumes(a, b netaddr.Prefix) bool {
+	return a.Bits() <= b.Bits() && a.Contains(b.Addr())
+}
+
+func portSubsumes(a, b netaddr.PortRange) bool {
+	return a.Lo <= b.Lo && b.Hi <= a.Hi
+}
+
+// Overlaps reports whether some packet can match both descriptors.
+func (d Descriptor) Overlaps(other Descriptor) bool {
+	return d.Src.Overlaps(other.Src) &&
+		d.Dst.Overlaps(other.Dst) &&
+		rangesOverlap(d.SrcPort, other.SrcPort) &&
+		rangesOverlap(d.DstPort, other.DstPort) &&
+		(d.Proto == netaddr.ProtoAny || other.Proto == netaddr.ProtoAny || d.Proto == other.Proto)
+}
+
+func rangesOverlap(a, b netaddr.PortRange) bool {
+	return a.Lo <= b.Hi && b.Lo <= a.Hi
+}
+
+// FindingKind classifies a lint finding.
+type FindingKind int
+
+// Lint finding kinds.
+const (
+	// Shadowed: the later policy can never match — an earlier policy
+	// subsumes its descriptor, so first-match always stops earlier.
+	Shadowed FindingKind = iota + 1
+	// Redundant: the later policy is shadowed AND prescribes the same
+	// action list, so removing it changes nothing at all.
+	Redundant
+	// Conflicting: two overlapping (but not subsuming) policies
+	// prescribe different action lists; which one applies depends on
+	// order, which deserves a human look.
+	Conflicting
+)
+
+// String renders the kind.
+func (k FindingKind) String() string {
+	switch k {
+	case Shadowed:
+		return "shadowed"
+	case Redundant:
+		return "redundant"
+	case Conflicting:
+		return "conflicting"
+	default:
+		return fmt.Sprintf("finding(%d)", int(k))
+	}
+}
+
+// Finding is one lint result: Later is affected by Earlier.
+type Finding struct {
+	Kind           FindingKind
+	Earlier, Later *Policy
+}
+
+// String renders the finding for operator output.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %v %s by %v", f.Kind, f.Later, f.Kind, f.Earlier)
+}
+
+// Lint analyzes the table's ordered policies and returns all findings,
+// ordered by the later policy's priority. Shadowed/redundant findings
+// report only the FIRST earlier policy responsible (one is enough to
+// prove deadness); conflict findings are reported pairwise.
+func (t *Table) Lint() []Finding {
+	var out []Finding
+	ps := t.policies
+	for j := 1; j < len(ps); j++ {
+		dead := false
+		for i := 0; i < j; i++ {
+			if ps[i].Desc.Subsumes(ps[j].Desc) {
+				kind := Shadowed
+				if ps[i].Actions.Equal(ps[j].Actions) {
+					kind = Redundant
+				}
+				out = append(out, Finding{Kind: kind, Earlier: ps[i], Later: ps[j]})
+				dead = true
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		for i := 0; i < j; i++ {
+			if ps[i].Desc.Overlaps(ps[j].Desc) &&
+				!ps[i].Desc.Subsumes(ps[j].Desc) &&
+				!ps[i].Actions.Equal(ps[j].Actions) {
+				out = append(out, Finding{Kind: Conflicting, Earlier: ps[i], Later: ps[j]})
+			}
+		}
+	}
+	return out
+}

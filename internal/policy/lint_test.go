@@ -1,0 +1,172 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdme/internal/netaddr"
+)
+
+func descFor(src, dst string, dp netaddr.PortRange) Descriptor {
+	d := NewDescriptor()
+	if src != "*" {
+		d.Src = netaddr.MustParsePrefix(src)
+	}
+	if dst != "*" {
+		d.Dst = netaddr.MustParsePrefix(dst)
+	}
+	d.DstPort = dp
+	return d
+}
+
+func TestSubsumes(t *testing.T) {
+	any := netaddr.AnyPort()
+	p80 := netaddr.SinglePort(80)
+	tests := []struct {
+		name string
+		a, b Descriptor
+		want bool
+	}{
+		{"wildcard subsumes everything", NewDescriptor(), descFor("10.0.0.0/8", "10.4.0.0/16", p80), true},
+		{"narrow does not subsume wide", descFor("10.0.0.0/8", "*", any), NewDescriptor(), false},
+		{"prefix containment", descFor("10.0.0.0/8", "*", any), descFor("10.4.0.0/16", "*", any), true},
+		{"disjoint prefixes", descFor("10.0.0.0/8", "*", any), descFor("11.0.0.0/8", "*", any), false},
+		{"port superset", descFor("*", "*", netaddr.PortRange{Lo: 0, Hi: 1000}), descFor("*", "*", p80), true},
+		{"port subset", descFor("*", "*", p80), descFor("*", "*", netaddr.PortRange{Lo: 0, Hi: 1000}), false},
+		{"self-subsumption", descFor("10.0.0.0/8", "*", p80), descFor("10.0.0.0/8", "*", p80), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Subsumes(tt.b); got != tt.want {
+			t.Errorf("%s: Subsumes = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+	// Proto wildcard rules.
+	a, b := NewDescriptor(), NewDescriptor()
+	b.Proto = netaddr.ProtoTCP
+	if !a.Subsumes(b) || b.Subsumes(a) {
+		t.Error("proto subsumption wrong")
+	}
+}
+
+func TestSubsumesImpliesMatchSubset(t *testing.T) {
+	// Property: if a.Subsumes(b), then every random tuple matching b
+	// also matches a.
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomDescriptor(rng), randomDescriptor(rng)
+		if !a.Subsumes(b) {
+			continue
+		}
+		for probe := 0; probe < 50; probe++ {
+			ft := netaddr.FiveTuple{
+				Src:     b.Src.Addr() + netaddr.Addr(rng.Intn(8)),
+				Dst:     b.Dst.Addr() + netaddr.Addr(rng.Intn(8)),
+				SrcPort: b.SrcPort.Lo,
+				DstPort: b.DstPort.Lo,
+				Proto:   netaddr.ProtoTCP,
+			}
+			if b.Proto != netaddr.ProtoAny {
+				ft.Proto = b.Proto
+			}
+			if b.Matches(ft) && !a.Matches(ft) {
+				t.Fatalf("a=%v subsumes b=%v but misses %v", a, b, ft)
+			}
+		}
+	}
+}
+
+func TestDescriptorOverlapsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 300; trial++ {
+		a, b := randomDescriptor(rng), randomDescriptor(rng)
+		if a.Overlaps(b) != b.Overlaps(a) {
+			t.Fatalf("Overlaps asymmetric for %v / %v", a, b)
+		}
+		// Subsumption implies overlap (descriptors are never empty).
+		if a.Subsumes(b) && !a.Overlaps(b) {
+			t.Fatalf("subsumes without overlap: %v / %v", a, b)
+		}
+	}
+}
+
+func TestLintShadowed(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(descFor("*", "128.40.0.0/16", netaddr.SinglePort(80)), ActionList{FuncFW, FuncIDS})
+	// Fully inside the first policy, different actions: shadowed.
+	tbl.Add(descFor("10.0.0.0/8", "128.40.7.0/24", netaddr.SinglePort(80)), ActionList{FuncIDS})
+	findings := tbl.Lint()
+	if len(findings) != 1 || findings[0].Kind != Shadowed {
+		t.Fatalf("findings = %v", findings)
+	}
+	if findings[0].Later.ID != 1 || findings[0].Earlier.ID != 0 {
+		t.Errorf("finding direction wrong: %v", findings[0])
+	}
+	if findings[0].String() == "" {
+		t.Error("empty finding string")
+	}
+}
+
+func TestLintRedundant(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(descFor("10.0.0.0/8", "*", netaddr.AnyPort()), ActionList{FuncFW})
+	tbl.Add(descFor("10.4.0.0/16", "*", netaddr.SinglePort(80)), ActionList{FuncFW})
+	findings := tbl.Lint()
+	if len(findings) != 1 || findings[0].Kind != Redundant {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestLintConflicting(t *testing.T) {
+	tbl := NewTable()
+	// Overlap without subsumption: src narrows one way, dst the other.
+	tbl.Add(descFor("10.0.0.0/8", "*", netaddr.SinglePort(80)), ActionList{FuncFW})
+	tbl.Add(descFor("*", "128.40.0.0/16", netaddr.SinglePort(80)), ActionList{FuncIDS})
+	findings := tbl.Lint()
+	if len(findings) != 1 || findings[0].Kind != Conflicting {
+		t.Fatalf("findings = %v", findings)
+	}
+}
+
+func TestLintCleanTable(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(descFor("10.1.0.0/16", "*", netaddr.SinglePort(80)), ActionList{FuncFW})
+	tbl.Add(descFor("10.2.0.0/16", "*", netaddr.SinglePort(80)), ActionList{FuncIDS})
+	tbl.Add(descFor("10.3.0.0/16", "*", netaddr.SinglePort(443)), ActionList{FuncWP})
+	if findings := tbl.Lint(); len(findings) != 0 {
+		t.Errorf("clean table produced findings: %v", findings)
+	}
+}
+
+func TestLintPaperTableIsClean(t *testing.T) {
+	// The paper's Table I relies on first-match ordering: the permit
+	// rules intentionally precede overlapping FW/IDS rules. Lint flags
+	// those as conflicts (order-dependent behaviour), which is exactly
+	// what an operator should review — but nothing is shadowed.
+	tbl := paperTable(t)
+	for _, f := range tbl.Lint() {
+		if f.Kind == Shadowed || f.Kind == Redundant {
+			t.Errorf("paper table has dead policy: %v", f)
+		}
+	}
+}
+
+func TestLintKindString(t *testing.T) {
+	if Shadowed.String() != "shadowed" || Redundant.String() != "redundant" || Conflicting.String() != "conflicting" {
+		t.Error("kind strings wrong")
+	}
+	if FindingKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func BenchmarkLint(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := NewTable()
+	for i := 0; i < 200; i++ {
+		tbl.Add(randomDescriptor(rng), ActionList{FuncFW})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lint()
+	}
+}

@@ -1,0 +1,126 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sdme/internal/netaddr"
+)
+
+const paperRules = `
+# Table I of the paper, subnet a = 128.40.0.0/16
+128.40.0.0/16  128.40.0.0/16  *   80  permit
+128.40.0.0/16  128.40.0.0/16  80  *   permit
+*              128.40.0.0/16  *   80  FW,IDS
+128.40.0.0/16  *              80  *   IDS,FW
+128.40.0.0/16  *              *   80  FW,IDS,WP   # outbound web
+*              128.40.0.0/16  80  *   WP,IDS,FW
+`
+
+func TestParseRulesPaperTable(t *testing.T) {
+	tbl := NewTable()
+	if err := ParseRules(strings.NewReader(paperRules), tbl); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 6 {
+		t.Fatalf("parsed %d policies, want 6", tbl.Len())
+	}
+	// Same probes as TestPaperTableI.
+	p := tbl.Match(tuple("128.40.1.1", "128.40.2.2", 5000, 80))
+	if p == nil || !p.Actions.IsPermit() {
+		t.Errorf("internal web: %v", p)
+	}
+	p = tbl.Match(tuple("128.40.1.1", "8.8.8.8", 4000, 80))
+	if p == nil || p.Actions.String() != "FW -> IDS -> WP" {
+		t.Errorf("outbound web: %v", p)
+	}
+}
+
+func TestParseRulesFeatures(t *testing.T) {
+	in := `
+10.1.0.5 * 1000-2000 * FW proto=udp
+* * * 53 IDS proto=17
+`
+	tbl := NewTable()
+	if err := ParseRules(strings.NewReader(in), tbl); err != nil {
+		t.Fatal(err)
+	}
+	// Bare address = /32.
+	p0 := tbl.All()[0]
+	if p0.Desc.Src.Bits() != 32 || p0.Desc.Src.Addr() != netaddr.MustParseAddr("10.1.0.5") {
+		t.Errorf("host prefix: %v", p0.Desc.Src)
+	}
+	if p0.Desc.SrcPort != (netaddr.PortRange{Lo: 1000, Hi: 2000}) {
+		t.Errorf("port range: %v", p0.Desc.SrcPort)
+	}
+	if p0.Desc.Proto != netaddr.ProtoUDP {
+		t.Errorf("proto: %d", p0.Desc.Proto)
+	}
+	if tbl.All()[1].Desc.Proto != netaddr.ProtoUDP {
+		t.Errorf("numeric proto: %d", tbl.All()[1].Desc.Proto)
+	}
+	ft := netaddr.FiveTuple{
+		Src: netaddr.MustParseAddr("10.1.0.5"), Dst: netaddr.MustParseAddr("9.9.9.9"),
+		SrcPort: 1500, DstPort: 99, Proto: netaddr.ProtoUDP,
+	}
+	if got := tbl.Match(ft); got == nil || got.ID != p0.ID {
+		t.Errorf("match = %v", got)
+	}
+	ft.Proto = netaddr.ProtoTCP
+	if tbl.Match(ft) != nil {
+		t.Error("TCP flow matched a UDP-only rule")
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"too few fields", "* * *\n", "line 1"},
+		{"bad src", "10.0.0.0/99 * * * FW\n", "src"},
+		{"bad dst", "* banana * * FW\n", "dst"},
+		{"bad port", "* * x * FW\n", "srcPort"},
+		{"inverted range", "* * * 9-1 FW\n", "dstPort"},
+		{"bad action", "* * * * NOPE\n", "unknown function"},
+		{"bad proto", "* * * * FW proto=zzz\n", "protocol"},
+		{"bad sixth field", "* * * * FW zzz\n", "proto="},
+		{"error line number", "* * * 80 FW\n* * * * NOPE\n", "line 2"},
+	}
+	for _, tc := range cases {
+		err := ParseRules(strings.NewReader(tc.in), NewTable())
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFormatRulesRoundTrip(t *testing.T) {
+	tbl := NewTable()
+	if err := ParseRules(strings.NewReader(paperRules), tbl); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FormatRules(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back := NewTable()
+	if err := ParseRules(bytes.NewReader(buf.Bytes()), back); err != nil {
+		t.Fatalf("re-parse of formatted rules: %v\n%s", err, buf.String())
+	}
+	if back.Len() != tbl.Len() {
+		t.Fatalf("round trip: %d vs %d policies", back.Len(), tbl.Len())
+	}
+	for i, p := range tbl.All() {
+		q := back.All()[i]
+		if p.Desc != q.Desc || !p.Actions.Equal(q.Actions) {
+			t.Errorf("policy %d changed: %v vs %v", i, p, q)
+		}
+	}
+}

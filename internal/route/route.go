@@ -1,0 +1,297 @@
+// Package route computes shortest paths over a topo.Graph. It serves two
+// masters:
+//
+//   - the controller, which needs all-pairs distances to find the closest
+//     middleboxes m_x^e and the candidate sets M_x^e of the paper (§III-B,
+//     §III-C);
+//   - the OSPF substrate, whose per-router SPF calculation is exactly a
+//     single-source run of the same algorithm over the link-state database.
+//
+// Ties are broken deterministically by preferring the lower neighbor
+// NodeID, so routing tables and controller assignments are reproducible.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"sdme/internal/topo"
+)
+
+// Infinity marks unreachable nodes in distance results.
+var Infinity = math.Inf(1)
+
+// Tree is the result of a single-source shortest-path computation.
+type Tree struct {
+	Source topo.NodeID
+	// Dist[v] is the metric distance from Source to v, Infinity if
+	// unreachable.
+	Dist []float64
+	// Parent[v] is the predecessor of v on its shortest path, or
+	// topo.InvalidNode for the source and unreachable nodes.
+	Parent []topo.NodeID
+	// FirstHop[v] is the first node after Source on the path to v (used
+	// directly as the routing-table next hop), or topo.InvalidNode.
+	FirstHop []topo.NodeID
+}
+
+// Option configures a shortest-path run.
+type Option func(*options)
+
+type options struct {
+	transitOK func(topo.NodeID) bool
+}
+
+// WithTransitFilter restricts which nodes may carry transit traffic
+// (appear as interior nodes of a path). Sources and destinations are
+// always allowed. The OSPF layer uses this to keep hosts, proxies and
+// middleboxes from becoming transit: only routers forward other nodes'
+// packets.
+func WithTransitFilter(ok func(topo.NodeID) bool) Option {
+	return func(o *options) { o.transitOK = ok }
+}
+
+// RouterTransitOnly is the standard transit filter: only routing-capable
+// nodes (core, edge, gateway) carry transit traffic.
+func RouterTransitOnly(g *topo.Graph) Option {
+	return WithTransitFilter(func(id topo.NodeID) bool {
+		return g.Node(id).Kind.IsRouter()
+	})
+}
+
+type pqItem struct {
+	node topo.NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node // deterministic tie-break
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPaths runs Dijkstra from src over g.
+func ShortestPaths(g *topo.Graph, src topo.NodeID, opts ...Option) *Tree {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	n := g.NumNodes()
+	t := &Tree{
+		Source:   src,
+		Dist:     make([]float64, n),
+		Parent:   make([]topo.NodeID, n),
+		FirstHop: make([]topo.NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Infinity
+		t.Parent[i] = topo.InvalidNode
+		t.FirstHop[i] = topo.InvalidNode
+	}
+	t.Dist[src] = 0
+
+	done := make([]bool, n)
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		// Nodes that cannot carry transit traffic are dead ends: we may
+		// reach them, but never relax edges out of them (except from the
+		// source itself).
+		if u != src && o.transitOK != nil && !o.transitOK(u) {
+			continue
+		}
+		for _, adj := range g.Neighbors(u) {
+			v := adj.Neighbor
+			if done[v] {
+				continue
+			}
+			nd := t.Dist[u] + g.Link(adj.LinkIdx).Cost
+			better := nd < t.Dist[v]
+			// Equal-cost tie: prefer the path whose predecessor has the
+			// lower ID so results are deterministic regardless of heap
+			// ordering quirks.
+			if nd == t.Dist[v] && t.Parent[v] != topo.InvalidNode && u < t.Parent[v] {
+				better = true
+			}
+			if !better {
+				continue
+			}
+			t.Dist[v] = nd
+			t.Parent[v] = u
+			if u == src {
+				t.FirstHop[v] = v
+			} else {
+				t.FirstHop[v] = t.FirstHop[u]
+			}
+			heap.Push(q, pqItem{node: v, dist: nd})
+		}
+	}
+	return t
+}
+
+// PathTo reconstructs the node sequence from the tree's source to dst,
+// inclusive of both endpoints. It returns nil if dst is unreachable.
+func (t *Tree) PathTo(dst topo.NodeID) []topo.NodeID {
+	if int(dst) >= len(t.Dist) || math.IsInf(t.Dist[dst], 1) {
+		return nil
+	}
+	var rev []topo.NodeID
+	for v := dst; v != topo.InvalidNode; v = t.Parent[v] {
+		rev = append(rev, v)
+		if v == t.Source {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if rev[0] != t.Source {
+		return nil
+	}
+	return rev
+}
+
+// Reachable reports whether dst is reachable from the tree's source.
+func (t *Tree) Reachable(dst topo.NodeID) bool {
+	return int(dst) < len(t.Dist) && !math.IsInf(t.Dist[dst], 1)
+}
+
+// AllPairs holds a shortest-path tree per source of interest. Trees are
+// computed lazily and cached; the cache is NOT safe for concurrent use.
+type AllPairs struct {
+	g     *topo.Graph
+	opts  []Option
+	trees map[topo.NodeID]*Tree
+}
+
+// NewAllPairs creates a lazy all-pairs calculator over g.
+func NewAllPairs(g *topo.Graph, opts ...Option) *AllPairs {
+	return &AllPairs{g: g, opts: opts, trees: make(map[topo.NodeID]*Tree)}
+}
+
+// Tree returns (computing if needed) the shortest-path tree rooted at src.
+func (ap *AllPairs) Tree(src topo.NodeID) *Tree {
+	if t, ok := ap.trees[src]; ok {
+		return t
+	}
+	t := ShortestPaths(ap.g, src, ap.opts...)
+	ap.trees[src] = t
+	return t
+}
+
+// Dist returns the metric distance between two nodes.
+func (ap *AllPairs) Dist(a, b topo.NodeID) float64 { return ap.Tree(a).Dist[b] }
+
+// Closest returns, among candidates, the one nearest to x (ties broken by
+// lower NodeID). It returns topo.InvalidNode if none is reachable. This is
+// the paper's m_x^e computation.
+func (ap *AllPairs) Closest(x topo.NodeID, candidates []topo.NodeID) topo.NodeID {
+	ranked := ap.KClosest(x, candidates, 1)
+	if len(ranked) == 0 {
+		return topo.InvalidNode
+	}
+	return ranked[0]
+}
+
+// KClosest returns up to k candidates ordered by increasing distance from
+// x (ties by lower NodeID), skipping unreachable ones. This is the
+// paper's M_x^e computation: the k closest middleboxes offering a
+// function. x itself is excluded if it appears among the candidates.
+func (ap *AllPairs) KClosest(x topo.NodeID, candidates []topo.NodeID, k int) []topo.NodeID {
+	t := ap.Tree(x)
+	type cand struct {
+		id topo.NodeID
+		d  float64
+	}
+	ranked := make([]cand, 0, len(candidates))
+	for _, c := range candidates {
+		if c == x || !t.Reachable(c) {
+			continue
+		}
+		ranked = append(ranked, cand{id: c, d: t.Dist[c]})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].d != ranked[j].d {
+			return ranked[i].d < ranked[j].d
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]topo.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = ranked[i].id
+	}
+	return out
+}
+
+// HopCount returns the number of links on the shortest path between two
+// nodes, or -1 if unreachable. With unit link costs this equals Dist, but
+// it stays correct under weighted links.
+func (ap *AllPairs) HopCount(a, b topo.NodeID) int {
+	p := ap.Tree(a).PathTo(b)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// Validate checks a tree for internal consistency; tests use it as a
+// cheap structural invariant on random graphs.
+func (t *Tree) Validate(g *topo.Graph) error {
+	for v := range t.Dist {
+		id := topo.NodeID(v)
+		if id == t.Source {
+			if t.Dist[v] != 0 {
+				return fmt.Errorf("route: source distance = %v", t.Dist[v])
+			}
+			continue
+		}
+		if math.IsInf(t.Dist[v], 1) {
+			if t.Parent[v] != topo.InvalidNode {
+				return fmt.Errorf("route: unreachable node %d has parent", v)
+			}
+			continue
+		}
+		p := t.Parent[v]
+		if p == topo.InvalidNode {
+			return fmt.Errorf("route: reachable node %d has no parent", v)
+		}
+		if !g.HasLink(p, id) {
+			return fmt.Errorf("route: parent edge %d-%d not in graph", p, v)
+		}
+		found := false
+		for _, adj := range g.Neighbors(p) {
+			if adj.Neighbor == id && t.Dist[p]+g.Link(adj.LinkIdx).Cost == t.Dist[v] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("route: node %d distance %v inconsistent with parent %d (%v)",
+				v, t.Dist[v], p, t.Dist[p])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdme/internal/topo"
+)
+
+// lineGraph builds a -- b -- c -- d with the given costs.
+func lineGraph(costs ...float64) (*topo.Graph, []topo.NodeID) {
+	g := topo.NewGraph()
+	ids := make([]topo.NodeID, len(costs)+1)
+	for i := range ids {
+		ids[i] = g.AddNode(topo.Node{Name: string(rune('a' + i)), Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	}
+	for i, c := range costs {
+		g.AddLink(topo.Link{A: ids[i], B: ids[i+1], Cost: c})
+	}
+	return g, ids
+}
+
+func TestShortestPathsLine(t *testing.T) {
+	g, ids := lineGraph(1, 2, 3)
+	tr := ShortestPaths(g, ids[0])
+	wantDist := []float64{0, 1, 3, 6}
+	for i, w := range wantDist {
+		if tr.Dist[ids[i]] != w {
+			t.Errorf("dist[%d] = %v, want %v", i, tr.Dist[ids[i]], w)
+		}
+	}
+	path := tr.PathTo(ids[3])
+	if len(path) != 4 || path[0] != ids[0] || path[3] != ids[3] {
+		t.Errorf("path = %v", path)
+	}
+	if tr.FirstHop[ids[3]] != ids[1] {
+		t.Errorf("first hop = %v, want %v", tr.FirstHop[ids[3]], ids[1])
+	}
+	if err := tr.Validate(g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortestPathsPrefersCheaperRoute(t *testing.T) {
+	// Square with a costly direct edge: a-d cost 10, a-b-c-d cost 3.
+	g := topo.NewGraph()
+	var ids [4]topo.NodeID
+	for i := range ids {
+		ids[i] = g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	}
+	g.AddLink(topo.Link{A: ids[0], B: ids[3], Cost: 10})
+	g.AddLink(topo.Link{A: ids[0], B: ids[1], Cost: 1})
+	g.AddLink(topo.Link{A: ids[1], B: ids[2], Cost: 1})
+	g.AddLink(topo.Link{A: ids[2], B: ids[3], Cost: 1})
+
+	tr := ShortestPaths(g, ids[0])
+	if tr.Dist[ids[3]] != 3 {
+		t.Errorf("dist = %v, want 3", tr.Dist[ids[3]])
+	}
+	want := []topo.NodeID{ids[0], ids[1], ids[2], ids[3]}
+	got := tr.PathTo(ids[3])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := topo.NewGraph()
+	a := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	b := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	tr := ShortestPaths(g, a)
+	if tr.Reachable(b) {
+		t.Error("b should be unreachable")
+	}
+	if tr.PathTo(b) != nil {
+		t.Error("PathTo unreachable should be nil")
+	}
+	if !math.IsInf(tr.Dist[b], 1) {
+		t.Errorf("dist = %v, want +Inf", tr.Dist[b])
+	}
+}
+
+func TestTransitFilter(t *testing.T) {
+	// a -- m -- b where m is a middlebox: with the router-only transit
+	// filter, b must be unreachable from a (m cannot forward transit),
+	// but m itself must remain reachable.
+	g := topo.NewGraph()
+	a := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	m := g.AddNode(topo.Node{Kind: topo.KindMiddlebox, Attach: a})
+	b := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	g.AddLink(topo.Link{A: a, B: m})
+	g.AddLink(topo.Link{A: m, B: b})
+
+	tr := ShortestPaths(g, a, RouterTransitOnly(g))
+	if !tr.Reachable(m) {
+		t.Error("middlebox itself must be reachable")
+	}
+	if tr.Reachable(b) {
+		t.Error("traffic must not transit a middlebox")
+	}
+
+	// The source itself may be a non-router (a proxy originates traffic).
+	tr2 := ShortestPaths(g, m, RouterTransitOnly(g))
+	if !tr2.Reachable(a) || !tr2.Reachable(b) {
+		t.Error("non-router source must still reach the network")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Diamond: a->b->d and a->c->d, equal cost. The path must prefer the
+	// lower-ID intermediate node, every time.
+	g := topo.NewGraph()
+	a := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	b := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	c := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	d := g.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	g.AddLink(topo.Link{A: a, B: c}) // insert links in an order that would
+	g.AddLink(topo.Link{A: c, B: d}) // favor c if ties were insertion-order
+	g.AddLink(topo.Link{A: a, B: b})
+	g.AddLink(topo.Link{A: b, B: d})
+
+	for i := 0; i < 5; i++ {
+		tr := ShortestPaths(g, a)
+		path := tr.PathTo(d)
+		if len(path) != 3 || path[1] != b {
+			t.Fatalf("iteration %d: path = %v, want middle node %v", i, path, b)
+		}
+	}
+}
+
+func TestKClosest(t *testing.T) {
+	g, ids := lineGraph(1, 1, 1, 1) // a-b-c-d-e
+	ap := NewAllPairs(g)
+	// Candidates c, e, b relative to a: distances 2, 4, 1.
+	got := ap.KClosest(ids[0], []topo.NodeID{ids[2], ids[4], ids[1]}, 2)
+	if len(got) != 2 || got[0] != ids[1] || got[1] != ids[2] {
+		t.Errorf("KClosest = %v, want [%v %v]", got, ids[1], ids[2])
+	}
+	// k larger than candidate count returns all, ranked.
+	got = ap.KClosest(ids[0], []topo.NodeID{ids[2], ids[4]}, 10)
+	if len(got) != 2 || got[0] != ids[2] {
+		t.Errorf("KClosest overflow = %v", got)
+	}
+	// Self is excluded.
+	got = ap.KClosest(ids[0], []topo.NodeID{ids[0], ids[1]}, 5)
+	if len(got) != 1 || got[0] != ids[1] {
+		t.Errorf("KClosest self-exclusion = %v", got)
+	}
+	if ap.Closest(ids[0], []topo.NodeID{ids[3], ids[2]}) != ids[2] {
+		t.Error("Closest wrong")
+	}
+	if ap.Closest(ids[0], nil) != topo.InvalidNode {
+		t.Error("Closest of nothing should be InvalidNode")
+	}
+}
+
+func TestHopCount(t *testing.T) {
+	g, ids := lineGraph(5, 5, 5) // weighted links, 3 hops end to end
+	ap := NewAllPairs(g)
+	if hc := ap.HopCount(ids[0], ids[3]); hc != 3 {
+		t.Errorf("HopCount = %d, want 3", hc)
+	}
+	if hc := ap.HopCount(ids[0], ids[0]); hc != 0 {
+		t.Errorf("HopCount self = %d, want 0", hc)
+	}
+	g2 := topo.NewGraph()
+	x := g2.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	y := g2.AddNode(topo.Node{Kind: topo.KindCoreRouter, Attach: topo.InvalidNode})
+	if hc := NewAllPairs(g2).HopCount(x, y); hc != -1 {
+		t.Errorf("HopCount unreachable = %d, want -1", hc)
+	}
+}
+
+func TestAllPairsCaches(t *testing.T) {
+	g, ids := lineGraph(1, 1)
+	ap := NewAllPairs(g)
+	t1 := ap.Tree(ids[0])
+	t2 := ap.Tree(ids[0])
+	if t1 != t2 {
+		t.Error("Tree should be cached per source")
+	}
+}
+
+func TestValidateOnRandomGraphs(t *testing.T) {
+	// Structural invariant: every Dijkstra tree on random connected
+	// graphs validates, and distances obey the triangle property along
+	// parent edges (checked inside Validate).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		g := topo.Waxman(topo.WaxmanConfig{EdgeRouters: 20, CoreRouters: 8}, rng)
+		for _, src := range g.Routers() {
+			tr := ShortestPaths(g, src)
+			if err := tr.Validate(g); err != nil {
+				t.Fatalf("trial %d src %v: %v", trial, src, err)
+			}
+		}
+	}
+}
+
+func TestSymmetricDistances(t *testing.T) {
+	// On an undirected graph, dist(a,b) == dist(b,a) for all router pairs.
+	rng := rand.New(rand.NewSource(7))
+	g := topo.Campus(topo.CampusConfig{}, rng)
+	ap := NewAllPairs(g)
+	routers := g.Routers()
+	for _, a := range routers {
+		for _, b := range routers {
+			if da, db := ap.Dist(a, b), ap.Dist(b, a); da != db {
+				t.Fatalf("asymmetric dist %v<->%v: %v vs %v", a, b, da, db)
+			}
+		}
+	}
+}
+
+func BenchmarkShortestPathsCampus(b *testing.B) {
+	g := topo.Campus(topo.CampusConfig{WithProxies: true}, rand.New(rand.NewSource(1)))
+	src := g.Routers()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ShortestPaths(g, src, RouterTransitOnly(g))
+	}
+}
+
+func BenchmarkShortestPathsWaxman(b *testing.B) {
+	g := topo.Waxman(topo.WaxmanConfig{}, rand.New(rand.NewSource(1)))
+	src := g.Routers()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ShortestPaths(g, src, RouterTransitOnly(g))
+	}
+}

@@ -1,0 +1,87 @@
+// Package sim is a discrete-event network simulator — the substrate this
+// reproduction uses in place of the paper's OMNET++/INET platform (§IV).
+// Routers forward packets hop by hop using their own converged OSPF
+// tables (internal/ospf), links impose propagation and transmission
+// delays and MTU limits, and the enforcement nodes (internal/enforce)
+// run their dataplane logic on packets addressed to them.
+//
+// Time is int64 microseconds of virtual time.
+package sim
+
+import (
+	"container/heap"
+)
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now    int64
+	seq    int64
+	queue  eventQueue
+	events int64
+}
+
+type event struct {
+	at  int64
+	seq int64 // FIFO among simultaneous events
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in microseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Events returns the number of events processed so far.
+func (e *Engine) Events() int64 { return e.events }
+
+// After schedules fn to run delay microseconds from now. Negative delays
+// are clamped to zero (run "immediately", after already-queued events at
+// the current instant).
+func (e *Engine) After(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue drains or virtual time would pass
+// `until` (inclusive; until <= 0 means run to drain). It returns the
+// number of events processed by this call.
+func (e *Engine) Run(until int64) int64 {
+	var n int64
+	for e.queue.Len() > 0 {
+		if until > 0 && e.queue[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		ev.fn()
+		n++
+		e.events++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }

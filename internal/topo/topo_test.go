@@ -1,0 +1,371 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sdme/internal/netaddr"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Node{Name: "a", Kind: KindCoreRouter, Attach: InvalidNode})
+	b := g.AddNode(Node{Name: "b", Kind: KindCoreRouter, Attach: InvalidNode})
+	c := g.AddNode(Node{Name: "c", Kind: KindEdgeRouter, Attach: InvalidNode})
+	g.AddLink(Link{A: a, B: b})
+	g.AddLink(Link{A: b, B: c, Cost: 3})
+
+	if g.NumNodes() != 3 || g.NumLinks() != 2 {
+		t.Fatalf("size = (%d nodes, %d links), want (3, 2)", g.NumNodes(), g.NumLinks())
+	}
+	if g.Degree(b) != 2 || g.Degree(a) != 1 {
+		t.Errorf("degrees: a=%d b=%d", g.Degree(a), g.Degree(b))
+	}
+	if g.Link(0).Cost != 1 {
+		t.Errorf("default cost = %v, want 1", g.Link(0).Cost)
+	}
+	if g.Link(0).MTU != DefaultMTU {
+		t.Errorf("default MTU = %v, want %v", g.Link(0).MTU, DefaultMTU)
+	}
+	if g.Link(1).Cost != 3 {
+		t.Errorf("explicit cost = %v, want 3", g.Link(1).Cost)
+	}
+	if !g.HasLink(a, b) || !g.HasLink(b, a) || g.HasLink(a, c) {
+		t.Error("HasLink wrong")
+	}
+	if !g.Connected() {
+		t.Error("graph should be connected")
+	}
+}
+
+func TestGraphDisconnected(t *testing.T) {
+	g := NewGraph()
+	g.AddNode(Node{Name: "a", Kind: KindCoreRouter, Attach: InvalidNode})
+	g.AddNode(Node{Name: "b", Kind: KindCoreRouter, Attach: InvalidNode})
+	if g.Connected() {
+		t.Error("two isolated routers should not be connected")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(Node{Name: "a", Kind: KindCoreRouter, Attach: InvalidNode})
+
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("self-loop", func() { g.AddLink(Link{A: a, B: a}) })
+	assertPanics("bad node in link", func() { g.AddLink(Link{A: a, B: 99}) })
+	assertPanics("Node out of range", func() { g.Node(5) })
+	assertPanics("Link out of range", func() { g.Link(0) })
+	assertPanics("Neighbors out of range", func() { g.Neighbors(-1) })
+}
+
+func TestNodeByAddr(t *testing.T) {
+	g := NewGraph()
+	addr := netaddr.MustParseAddr("172.16.0.1")
+	id := g.AddNode(Node{Name: "r", Kind: KindCoreRouter, Addr: addr, Attach: InvalidNode})
+	if got := g.NodeByAddr(addr); got != id {
+		t.Errorf("NodeByAddr = %v, want %v", got, id)
+	}
+	if got := g.NodeByAddr(netaddr.MustParseAddr("1.2.3.4")); got != InvalidNode {
+		t.Errorf("unknown addr: got %v, want InvalidNode", got)
+	}
+}
+
+func TestCampusShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Campus(CampusConfig{WithProxies: true}, rng)
+	s := g.Summarize()
+
+	if s.Gateways != 2 {
+		t.Errorf("gateways = %d, want 2", s.Gateways)
+	}
+	if s.Core != 16 {
+		t.Errorf("core = %d, want 16", s.Core)
+	}
+	if s.Edge != 10 {
+		t.Errorf("edge = %d, want 10", s.Edge)
+	}
+	if s.Proxies != 10 {
+		t.Errorf("proxies = %d, want 10", s.Proxies)
+	}
+	if !s.ConnectedRouters {
+		t.Error("campus must be connected")
+	}
+
+	// Paper: each core router connects to both gateways.
+	gws := g.NodesOfKind(KindGateway)
+	for _, c := range g.NodesOfKind(KindCoreRouter) {
+		for _, gw := range gws {
+			if !g.HasLink(c, gw) {
+				t.Errorf("core %v missing link to gateway %v", c, gw)
+			}
+		}
+	}
+
+	// Every edge router fronts a distinct /16 and has a proxy.
+	seen := map[string]bool{}
+	for _, e := range g.NodesOfKind(KindEdgeRouter) {
+		n := g.Node(e)
+		if n.Subnet.Bits() != 16 {
+			t.Errorf("edge %s subnet = %v, want /16", n.Name, n.Subnet)
+		}
+		if seen[n.Subnet.String()] {
+			t.Errorf("duplicate subnet %v", n.Subnet)
+		}
+		seen[n.Subnet.String()] = true
+		if len(g.AttachedOfKind(e, KindProxy)) != 1 {
+			t.Errorf("edge %s: want exactly 1 proxy", n.Name)
+		}
+	}
+}
+
+func TestCampusDeterministic(t *testing.T) {
+	g1 := Campus(CampusConfig{WithProxies: true}, rand.New(rand.NewSource(7)))
+	g2 := Campus(CampusConfig{WithProxies: true}, rand.New(rand.NewSource(7)))
+	if g1.NumNodes() != g2.NumNodes() || g1.NumLinks() != g2.NumLinks() {
+		t.Fatal("same seed must give same graph size")
+	}
+	for i := 0; i < g1.NumLinks(); i++ {
+		if g1.Link(i) != g2.Link(i) {
+			t.Fatalf("link %d differs between same-seed graphs", i)
+		}
+	}
+}
+
+func TestWaxmanShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Waxman(WaxmanConfig{WithProxies: true}, rng)
+	s := g.Summarize()
+
+	if s.Core != 25 {
+		t.Errorf("core = %d, want 25", s.Core)
+	}
+	if s.Edge != 400 {
+		t.Errorf("edge = %d, want 400", s.Edge)
+	}
+	if s.Proxies != 400 {
+		t.Errorf("proxies = %d, want 400", s.Proxies)
+	}
+	if !s.ConnectedRouters {
+		t.Error("waxman must be connected")
+	}
+
+	// Paper: 4 core-to-core links per core router; the spanning tree can
+	// force a node above the target, and exhaustion can leave one below,
+	// but the bulk must sit at exactly 4.
+	coreDeg := func(id NodeID) int {
+		d := 0
+		for _, adj := range g.Neighbors(id) {
+			if g.Node(adj.Neighbor).Kind == KindCoreRouter {
+				d++
+			}
+		}
+		return d
+	}
+	at4 := 0
+	for _, c := range g.NodesOfKind(KindCoreRouter) {
+		if d := coreDeg(c); d == 4 {
+			at4++
+		} else if d < 2 || d > 8 {
+			t.Errorf("core %v degree %d way off target 4", c, d)
+		}
+	}
+	if at4 < 20 {
+		t.Errorf("only %d/25 cores at degree 4", at4)
+	}
+
+	// Edge routers split evenly: 400/25 = 16 per core.
+	for _, c := range g.NodesOfKind(KindCoreRouter) {
+		edges := 0
+		for _, adj := range g.Neighbors(c) {
+			if g.Node(adj.Neighbor).Kind == KindEdgeRouter {
+				edges++
+			}
+		}
+		if edges != 16 {
+			t.Errorf("core %v fronts %d edge routers, want 16", c, edges)
+		}
+	}
+}
+
+func TestWaxmanDeterministic(t *testing.T) {
+	g1 := Waxman(WaxmanConfig{}, rand.New(rand.NewSource(11)))
+	g2 := Waxman(WaxmanConfig{}, rand.New(rand.NewSource(11)))
+	if g1.NumLinks() != g2.NumLinks() {
+		t.Fatal("same seed must give same link count")
+	}
+	for i := 0; i < g1.NumLinks(); i++ {
+		if g1.Link(i) != g2.Link(i) {
+			t.Fatalf("link %d differs between same-seed graphs", i)
+		}
+	}
+}
+
+func TestSubnetAddressingUnique(t *testing.T) {
+	// 400 subnets must have non-overlapping prefixes and distinct
+	// router/proxy/host addresses.
+	prefixes := make([]netaddr.Prefix, 0, 400)
+	addrs := map[netaddr.Addr]bool{}
+	for i := 1; i <= 400; i++ {
+		p := SubnetPrefix(i)
+		for _, q := range prefixes {
+			if p.Overlaps(q) {
+				t.Fatalf("subnet %d prefix %v overlaps %v", i, p, q)
+			}
+		}
+		prefixes = append(prefixes, p)
+		for _, a := range []netaddr.Addr{subnetRouterAddr(i), subnetProxyAddr(i), HostAddr(i, 1)} {
+			if addrs[a] {
+				t.Fatalf("duplicate address %v at subnet %d", a, i)
+			}
+			if !p.Contains(a) {
+				t.Fatalf("address %v not inside its subnet %v", a, p)
+			}
+			addrs[a] = true
+		}
+	}
+}
+
+func TestSubnetOwner(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := Campus(CampusConfig{}, rng)
+	edges := g.NodesOfKind(KindEdgeRouter)
+	for i, e := range edges {
+		host := HostAddr(i+1, 7)
+		if got := g.SubnetOwner(host); got != e {
+			t.Errorf("SubnetOwner(%v) = %v, want edge %v", host, got, e)
+		}
+	}
+	if got := g.SubnetOwner(netaddr.MustParseAddr("99.99.99.99")); got != InvalidNode {
+		t.Errorf("external address should have no owner, got %v", got)
+	}
+}
+
+func TestAttachHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := Campus(CampusConfig{}, rng)
+	core := g.NodesOfKind(KindCoreRouter)[0]
+	mb := AttachMiddlebox(g, core, 1, "fw1")
+	if g.Node(mb).Kind != KindMiddlebox || g.Node(mb).Attach != core {
+		t.Errorf("middlebox node wrong: %+v", g.Node(mb))
+	}
+	if !g.HasLink(mb, core) {
+		t.Error("middlebox must link to its router")
+	}
+	if got := g.AttachedOfKind(core, KindMiddlebox); len(got) != 1 || got[0] != mb {
+		t.Errorf("AttachedOfKind = %v", got)
+	}
+
+	edge := g.NodesOfKind(KindEdgeRouter)[2]
+	h := AttachHost(g, edge, 3, 1)
+	if g.Node(h).Addr != HostAddr(3, 1) {
+		t.Errorf("host addr = %v", g.Node(h).Addr)
+	}
+	if g.SubnetOwner(g.Node(h).Addr) != edge {
+		t.Error("host should live in its edge router's subnet")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindCoreRouter, "core"}, {KindEdgeRouter, "edge"}, {KindGateway, "gateway"},
+		{KindMiddlebox, "middlebox"}, {KindProxy, "proxy"}, {KindHost, "host"},
+		{Kind(42), "kind(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	in := []NodeID{5, 1, 3}
+	out := SortedIDs(in)
+	if out[0] != 1 || out[1] != 3 || out[2] != 5 {
+		t.Errorf("SortedIDs = %v", out)
+	}
+	if in[0] != 5 {
+		t.Error("SortedIDs must not mutate its input")
+	}
+}
+
+func TestWeightedIndexProperty(t *testing.T) {
+	// Property: weightedIndex never returns an index with zero weight when
+	// some weight is positive.
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		anyPos := false
+		for i, r := range raw {
+			weights[i] = float64(r % 2) // 0 or 1
+			anyPos = anyPos || weights[i] > 0
+		}
+		rng := rand.New(rand.NewSource(seed))
+		idx := weightedIndex(rng, weights)
+		if idx < 0 || idx >= len(weights) {
+			return false
+		}
+		if anyPos && weights[idx] == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	got := pickDistinct(rng, 10, 4)
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Errorf("bad pick %v in %v", v, got)
+		}
+		seen[v] = true
+	}
+	if got := pickDistinct(rng, 3, 10); len(got) != 3 {
+		t.Errorf("k>n should return all n, got %v", got)
+	}
+}
+
+func TestOffPathProxyAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := Campus(CampusConfig{WithProxies: true, OffPathProxies: true}, rng)
+	for _, p := range g.NodesOfKind(KindProxy) {
+		if !g.Node(p).OffPath {
+			t.Errorf("proxy %v not marked off-path", p)
+		}
+	}
+	g2 := Campus(CampusConfig{WithProxies: true}, rand.New(rand.NewSource(13)))
+	for _, p := range g2.NodesOfKind(KindProxy) {
+		if g2.Node(p).OffPath {
+			t.Errorf("proxy %v should be in-path by default", p)
+		}
+	}
+	// Manual attachment helpers agree with the config flag.
+	edge := g2.NodesOfKind(KindEdgeRouter)[0]
+	off := AttachProxyOffPath(g2, edge, 99)
+	if !g2.Node(off).OffPath {
+		t.Error("AttachProxyOffPath did not mark the node")
+	}
+}

@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+func TestClassActions(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{ManyToOne, "FW -> IDS"},
+		{OneToMany, "FW -> IDS -> WP"},
+		{OneToOne, "IDS -> TM"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Actions().String(); got != tt.want {
+			t.Errorf("%v actions = %q, want %q", tt.c, got, tt.want)
+		}
+		if tt.c.String() == "" {
+			t.Error("empty class string")
+		}
+	}
+	if Class(9).Actions() != nil {
+		t.Error("unknown class should have no actions")
+	}
+}
+
+func TestGeneratePolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := policy.NewTable()
+	cfg := GenConfig{Subnets: 10, PoliciesPerClass: 5}
+	ps := GeneratePolicies(cfg, tbl, rng)
+
+	if len(ps) != 15 || tbl.Len() != 15 {
+		t.Fatalf("generated %d policies, table %d; want 15", len(ps), tbl.Len())
+	}
+	counts := map[Class]int{}
+	for _, cp := range ps {
+		counts[cp.Class]++
+		switch cp.Class {
+		case ManyToOne:
+			if cp.DstSubnet < 1 || cp.DstSubnet > 10 || cp.SrcSubnet != 0 {
+				t.Errorf("many-to-one subnets: %+v", cp)
+			}
+			if !cp.Policy.Desc.Src.IsAny() {
+				t.Error("many-to-one must have wildcard source")
+			}
+		case OneToMany:
+			if cp.SrcSubnet < 1 || cp.DstSubnet != 0 {
+				t.Errorf("one-to-many subnets: %+v", cp)
+			}
+			if cp.Service != 80 {
+				t.Errorf("one-to-many service = %d, want 80", cp.Service)
+			}
+		case OneToOne:
+			if cp.SrcSubnet == cp.DstSubnet {
+				t.Error("one-to-one must use distinct subnets")
+			}
+			if cp.SrcSubnet < 1 || cp.DstSubnet < 1 {
+				t.Errorf("one-to-one subnets: %+v", cp)
+			}
+		}
+		if !cp.Policy.Actions.Equal(cp.Class.Actions()) {
+			t.Errorf("policy actions %v for class %v", cp.Policy.Actions, cp.Class)
+		}
+	}
+	for _, c := range []Class{ManyToOne, OneToMany, OneToOne} {
+		if counts[c] != 5 {
+			t.Errorf("class %v count = %d, want 5", c, counts[c])
+		}
+	}
+}
+
+func TestGeneratePoliciesNeedsSubnets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic with 1 subnet")
+		}
+	}()
+	GeneratePolicies(GenConfig{Subnets: 1}, policy.NewTable(), rand.New(rand.NewSource(1)))
+}
+
+func TestSizeSamplerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSizeSampler(0.65, 1, 5000)
+	for i := 0; i < 20000; i++ {
+		v := s.Sample(rng)
+		if v < 1 || v > 5000 {
+			t.Fatalf("sample %d out of [1,5000]", v)
+		}
+	}
+}
+
+func TestSizeSamplerMeanMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSizeSampler(0.65, 1, 5000)
+	want := s.Mean()
+	if want < 25 || want > 45 {
+		t.Fatalf("analytic mean %v outside the paper-consistent range (≈33)", want)
+	}
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(s.Sample(rng))
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("empirical mean %v vs analytic %v", got, want)
+	}
+}
+
+func TestSizeSamplerPowerLawShape(t *testing.T) {
+	// Heavy tail: small flows dominate, but large flows exist.
+	rng := rand.New(rand.NewSource(4))
+	s := NewSizeSampler(0.65, 1, 5000)
+	small, large := 0, 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := s.Sample(rng)
+		if v <= 10 {
+			small++
+		}
+		if v >= 1000 {
+			large++
+		}
+	}
+	if small < n/2 {
+		t.Errorf("only %d/%d samples <= 10; not heavy-headed", small, n)
+	}
+	if large == 0 {
+		t.Error("no samples >= 1000; tail missing")
+	}
+	if large > n/10 {
+		t.Errorf("%d/%d samples >= 1000; tail too fat", large, n)
+	}
+}
+
+func TestSizeSamplerDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewSizeSampler(0.65, 7, 7)
+	for i := 0; i < 100; i++ {
+		if v := s.Sample(rng); v != 7 {
+			t.Fatalf("degenerate sampler returned %d", v)
+		}
+	}
+	// min clamped to 1, max clamped to min.
+	s2 := NewSizeSampler(1.0, 0, -5)
+	if v := s2.Sample(rng); v != 1 {
+		t.Errorf("clamped sampler returned %d", v)
+	}
+}
+
+func TestGenerateFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tbl := policy.NewTable()
+	cfg := GenConfig{Subnets: 10, PoliciesPerClass: 4}
+	ps := GeneratePolicies(cfg, tbl, rng)
+	const target = 100000
+	flows := GenerateFlows(cfg, ps, target, rng)
+
+	if got := TotalPackets(flows); got < target || got > target+5000 {
+		t.Errorf("total packets = %d, want just past %d", got, target)
+	}
+
+	classCount := map[Class]int{}
+	for _, f := range flows {
+		classCount[f.Under.Class]++
+		// Invariant: every flow matches its generating policy.
+		if !f.Under.Policy.Desc.Matches(f.Tuple) {
+			t.Fatalf("flow %v does not match its policy %v", f.Tuple, f.Under.Policy)
+		}
+		// And the table's first match must have the same action chain
+		// (an earlier policy may shadow, but the generated classes use
+		// disjoint services per subnet most of the time; require only
+		// that some policy matches).
+		if tbl.Match(f.Tuple) == nil {
+			t.Fatalf("flow %v matches no policy in the table", f.Tuple)
+		}
+		if f.SrcSubnet == f.DstSubnet {
+			t.Fatalf("flow within one subnet: %+v", f)
+		}
+		if f.Packets < 1 || f.Packets > 5000 {
+			t.Fatalf("flow size %d out of range", f.Packets)
+		}
+	}
+	n := len(flows)
+	for c, cnt := range classCount {
+		if cnt < n/3-n/30 || cnt > n/3+n/30 {
+			t.Errorf("class %v has %d of %d flows; want ~1/3", c, cnt, n)
+		}
+	}
+}
+
+func TestGenerateFlowsDeterministic(t *testing.T) {
+	gen := func() []Flow {
+		rng := rand.New(rand.NewSource(7))
+		tbl := policy.NewTable()
+		cfg := GenConfig{Subnets: 5, PoliciesPerClass: 2}
+		ps := GeneratePolicies(cfg, tbl, rng)
+		return GenerateFlows(cfg, ps, 10000, rng)
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Tuple != b[i].Tuple || a[i].Packets != b[i].Packets {
+			t.Fatalf("flow %d differs between same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateFlowsFlowCountScalesLikePaper(t *testing.T) {
+	// 1M packets should need roughly 30k flows (paper: 30k–300k flows
+	// for 1M–10M packets).
+	rng := rand.New(rand.NewSource(8))
+	tbl := policy.NewTable()
+	cfg := GenConfig{Subnets: 10, PoliciesPerClass: 4}
+	ps := GeneratePolicies(cfg, tbl, rng)
+	flows := GenerateFlows(cfg, ps, 1000000, rng)
+	if len(flows) < 15000 || len(flows) > 60000 {
+		t.Errorf("1M packets took %d flows; paper implies ≈30k", len(flows))
+	}
+}
+
+func TestRandOther(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		if v := randOther(rng, 5, 3); v == 3 || v < 1 || v > 5 {
+			t.Fatalf("randOther returned %d", v)
+		}
+		if v := randOther(rng, 5, 0); v < 1 || v > 5 {
+			t.Fatalf("randOther no-exclusion returned %d", v)
+		}
+	}
+}
+
+func BenchmarkGenerateFlows1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tbl := policy.NewTable()
+	cfg := GenConfig{Subnets: 10, PoliciesPerClass: 4}
+	ps := GeneratePolicies(cfg, tbl, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateFlows(cfg, ps, 1000000, rng)
+	}
+}
+
+func TestCompanionPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tbl := policy.NewTable()
+	cfg := GenConfig{Subnets: 6, PoliciesPerClass: 4, Companions: true}
+	ps := GeneratePolicies(cfg, tbl, rng)
+	// 12 classed policies + 4 companions (one per one-to-many).
+	if len(ps) != 12 {
+		t.Fatalf("classed policies = %d, want 12", len(ps))
+	}
+	if tbl.Len() != 16 {
+		t.Fatalf("table has %d policies, want 16 (12 + 4 companions)", tbl.Len())
+	}
+	// A return web packet into a one-to-many subnet must match the
+	// companion with the reversed chain.
+	var oneToMany *ClassedPolicy
+	for i := range ps {
+		if ps[i].Class == OneToMany {
+			oneToMany = &ps[i]
+			break
+		}
+	}
+	ret := netaddr.FiveTuple{
+		Src: netaddr.MustParseAddr("93.184.216.34"), Dst: topo.HostAddr(oneToMany.SrcSubnet, 3),
+		SrcPort: 80, DstPort: 52000, Proto: netaddr.ProtoTCP,
+	}
+	p := tbl.Match(ret)
+	if p == nil {
+		t.Fatal("return traffic unmatched")
+	}
+	want := policy.ActionList{policy.FuncWP, policy.FuncIDS, policy.FuncFW}
+	if !p.Actions.Equal(want) {
+		t.Errorf("companion chain = %v, want %v", p.Actions, want)
+	}
+}
