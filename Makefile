@@ -1,0 +1,37 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# gates in the same order.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt verify-examples check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet = the toolchain's vet plus this repository's own analyzers
+# (internal/lint via cmd/sdme-vet).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sdme-vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Statically verify the controller plan (candidate sets, loop freedom,
+# hot-potato optimality, LB weights) on both example topologies.
+verify-examples:
+	$(GO) run ./cmd/sdme-topo -topology campus -verify
+	$(GO) run ./cmd/sdme-topo -topology waxman -verify
+
+check: build fmt vet verify-examples race

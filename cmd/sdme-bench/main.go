@@ -48,7 +48,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer md.Close()
+	// Backstop for early error returns; the success path closes
+	// explicitly below so a flush failure is not silently dropped.
+	defer func() { _ = md.Close() }()
 	fmt.Fprintf(md, "# Generated experiment results\n\nseed %d, generated %s\n",
 		*seed, time.Now().UTC().Format(time.RFC3339))
 
@@ -66,10 +68,12 @@ func run() error {
 			return err
 		}
 		if err := experiments.WriteFigureCSV(f, res); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", csvPath, err)
+		}
 		figNum := 4
 		if topoName == "waxman" {
 			figNum = 5
@@ -90,10 +94,12 @@ func run() error {
 		return err
 	}
 	if err := experiments.WriteTableCSV(f, rows); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close table3.csv: %w", err)
+	}
 	fmt.Fprintf(md, "\n## Table III (campus, %d packets)\n\n%s", tablePoint, experiments.TableMarkdown(rows))
 	fmt.Println("table III -> " + filepath.Join(*out, "table3.csv"))
 
@@ -158,6 +164,9 @@ func run() error {
 		fmt.Printf("multi-seed summary over %d seeds\n", *multiseed)
 	}
 
+	if err := md.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", md.Name(), err)
+	}
 	fmt.Println("markdown -> " + md.Name())
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"sdme/internal/experiments"
 	"sdme/internal/ospf"
 	"sdme/internal/topo"
+	"sdme/internal/verify"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func run() error {
 	candidatesOf := flag.String("candidates", "", "print the candidate sets M_x^e of this node name")
 	exportPath := flag.String("export", "", "write the full controller configuration as JSON to this file")
 	audit := flag.Bool("audit", false, "build the default deployment and audit enforceability of every policy")
+	verifyPlan := flag.Bool("verify", false, "statically verify the controller's plan (candidate sets and LB weights) before any install")
 	flag.Parse()
 
 	bed, err := experiments.NewBed(experiments.Config{Topology: *topoName, Seed: *seed, PoliciesPerClass: 1})
@@ -82,6 +84,12 @@ func run() error {
 		}
 	}
 
+	if *verifyPlan {
+		if err := runVerify(bed); err != nil {
+			return err
+		}
+	}
+
 	if *audit {
 		ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{K: controller.DefaultK()})
 		nodes, err := ctl.BuildNodes()
@@ -110,9 +118,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := ctl.ExportConfig(nodes).WriteJSON(f); err != nil {
+			_ = f.Close()
 			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *exportPath, err)
 		}
 		fmt.Printf("\nconfiguration exported to %s\n", *exportPath)
 	}
@@ -138,6 +149,44 @@ func run() error {
 			}
 			fmt.Println()
 		}
+	}
+	return nil
+}
+
+// runVerify statically verifies the default controller plan for the bed:
+// first the pre-install invariants over the candidate assignments, then
+// the lb-weights invariant over an LB solution solved against a
+// synthetic demand set. A plan with hard violations fails the command.
+func runVerify(bed *experiments.Bed) error {
+	ctl := controller.New(bed.Dep, bed.AllPairs, bed.Table, controller.Options{K: controller.DefaultK()})
+	vs := ctl.VerifyPlan(nil)
+	fmt.Printf("\nplan verification (coverage, loop-freedom, hp-optimality, failed-candidate):\n")
+	report := func(vs []verify.Violation) {
+		for _, v := range vs {
+			fmt.Println("  " + v.String())
+		}
+	}
+	if len(vs) == 0 {
+		fmt.Printf("  ok: %d nodes, %d policies, no violations\n",
+			len(bed.Dep.ProxyNodes)+len(bed.Dep.MBNodes), bed.Table.Len())
+	} else {
+		report(vs)
+	}
+
+	meas := controller.MeasurementsFromFlows(bed.Dep, bed.Table, bed.GenerateDemands(100000))
+	sol, err := ctl.SolveLB(meas)
+	if err != nil {
+		return fmt.Errorf("solve LB for verification: %w", err)
+	}
+	wvs := ctl.VerifyPlan(sol.Weights)
+	fmt.Printf("plan verification (lb-weights, λ=%.3f, %d weighted nodes):\n", sol.Lambda, len(sol.Weights))
+	if len(wvs) == 0 {
+		fmt.Println("  ok: no violations")
+	} else {
+		report(wvs)
+	}
+	if err := verify.AsError(append(vs, wvs...)); err != nil {
+		return err
 	}
 	return nil
 }

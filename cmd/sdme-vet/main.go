@@ -1,0 +1,91 @@
+// Command sdme-vet runs the repository's custom static analyzers
+// (internal/lint) over module packages, in the style of a go/analysis
+// multichecker but with no dependency outside the standard library.
+//
+// Usage:
+//
+//	sdme-vet [-list] [-run name1,name2] [-typeerrors] [patterns ...]
+//
+// Patterns default to ./... and accept the usual forms (./internal/live,
+// ./..., sdme/internal/...). The exit status is 1 when any diagnostic is
+// reported, so CI can gate on it. Findings are suppressed per line with
+// a `//vet:ignore <analyzer>` comment on the offending line or the line
+// above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdme/internal/lint"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdme-vet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	showTypeErrs := flag.Bool("typeerrors", false, "also print type-checker errors encountered while loading")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return 0, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		return 0, err
+	}
+	if *showTypeErrs {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "sdme-vet: typecheck %s: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sdme-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -72,6 +72,10 @@ type Options struct {
 	// uses the built-in implementations (nf.New). Required when policies
 	// reference function types registered beyond the built-in four.
 	FunctionFactory enforce.FunctionFactory
+	// Verify makes BuildNodes, Reassign and the LB solvers statically
+	// verify their plan (internal/verify) and refuse to install one with
+	// violations. The failed check returns a *verify.Error listing them.
+	Verify bool
 }
 
 // Controller is the central management server.
@@ -159,6 +163,9 @@ func (c *Controller) CandidatesOf(x topo.NodeID) map[policy.FuncType][]topo.Node
 func (c *Controller) BuildNodes() (map[topo.NodeID]*enforce.Node, error) {
 	if c.candidates == nil {
 		c.computeAssignments()
+	}
+	if err := c.verifyPlan(nil); err != nil {
+		return nil, err
 	}
 	nodes := make(map[topo.NodeID]*enforce.Node, len(c.dep.ProxyNodes)+len(c.dep.MBNodes))
 

@@ -93,6 +93,9 @@ func (c *Controller) Reassign(nodes map[topo.NodeID]*enforce.Node) error {
 	if err != nil {
 		return err
 	}
+	if err := c.verifyPlan(nil); err != nil {
+		return err
+	}
 	for id, n := range nodes {
 		if cc, ok := cands[id]; ok {
 			n.SetCandidates(cc)

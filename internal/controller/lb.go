@@ -181,7 +181,10 @@ func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
 	if spread, err := c.buildAndSolve(insts, false, &lambdaStar); err == nil && spread != nil {
 		spread.Lambda = lambdaStar
 		spread.Capped = sol.Capped
-		return spread, nil
+		sol = spread
+	}
+	if err := c.verifyPlan(sol.Weights); err != nil {
+		return nil, err
 	}
 	return sol, nil
 }

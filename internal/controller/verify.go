@@ -1,0 +1,44 @@
+package controller
+
+import (
+	"sdme/internal/enforce"
+	"sdme/internal/topo"
+	"sdme/internal/verify"
+)
+
+// Static plan verification (see internal/verify): with Options.Verify
+// set, the controller refuses to install any plan that fails the
+// coverage / loop-freedom / hp-optimality / failed-candidate invariants,
+// and any LB solution whose weight vectors fail the lb-weights
+// invariant. The checks recompute rankings independently from AllPairs,
+// so they catch corruption of the controller's own cache, not only bad
+// inputs.
+
+// VerifyPlan statically checks the current candidate assignments
+// (computing them first if needed) and, when weights is non-nil, an LB
+// solution's weight vectors. It returns every violation found; an empty
+// result means the plan upholds all invariants. Pass
+// LBSolution.Weights as weights to audit a solved rebalance.
+func (c *Controller) VerifyPlan(weights map[topo.NodeID]map[enforce.WeightKey][]float64) []verify.Violation {
+	if c.candidates == nil {
+		c.computeAssignments()
+	}
+	return verify.Check(verify.Plan{
+		Dep:        c.dep,
+		AP:         c.ap,
+		Policies:   c.policies,
+		Candidates: c.candidates,
+		Weights:    weights,
+		Failed:     c.Failed(),
+		K:          c.kFor,
+	})
+}
+
+// verifyPlan is the internal gate: nil unless verification is enabled
+// and finds hard violations, in which case it returns a *verify.Error.
+func (c *Controller) verifyPlan(weights map[topo.NodeID]map[enforce.WeightKey][]float64) error {
+	if !c.opts.Verify {
+		return nil
+	}
+	return verify.AsError(c.VerifyPlan(weights))
+}

@@ -1,0 +1,288 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"sdme/internal/lint"
+)
+
+// fixture is a throwaway module exercising every analyzer. Lines carrying
+// a trailing `// want:a,b` marker must produce exactly one diagnostic per
+// named analyzer; every other line must stay clean.
+var fixture = map[string]string{
+	"go.mod": "module fixture\n\ngo 1.24\n",
+
+	// The module root is outside the simdeterminism guard: wall-clock
+	// reads here are legitimate and must not be flagged.
+	"clock.go": `package fixture
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+
+	"internal/sim/sim.go": `package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Nondeterministic() (int64, int) {
+	now := time.Now().UnixNano() // want:simdeterminism
+	n := rand.Intn(10)           // want:simdeterminism
+	return now, n
+}
+
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func Suppressed() time.Time {
+	//vet:ignore simdeterminism -- boot banner only
+	return time.Now()
+}
+`,
+
+	"internal/live/live.go": `package live
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type Server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn net.Conn
+	wg   sync.WaitGroup
+}
+
+func (s *Server) Bad() {
+	s.mu.Lock()
+	s.ch <- 1 // want:lockedblocking
+	<-s.ch    // want:lockedblocking
+	s.wg.Wait()                  // want:lockedblocking
+	time.Sleep(time.Millisecond) // want:lockedblocking
+	s.mu.Unlock()
+}
+
+func (s *Server) BadConn(buf []byte) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.conn.Write(buf) // want:lockedblocking,conncheck
+}
+
+func (s *Server) BadSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want:lockedblocking
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *Server) Good() int {
+	s.mu.Lock()
+	v := len(s.ch)
+	s.mu.Unlock()
+	s.ch <- v
+	return v
+}
+
+func (s *Server) Branch(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		s.ch <- 1
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) SuppressedSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//vet:ignore lockedblocking -- buffered command channel, never full
+	s.ch <- 9
+}
+
+func (s *Server) CloseAll(f *os.File) {
+	s.conn.Close() // want:conncheck
+	_ = s.conn.Close()
+	f.Close() // want:conncheck
+}
+`,
+}
+
+// expectation is one (file, line, analyzer) a marker demands.
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range fixture {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func wantedDiags(root string) map[expectation]int {
+	out := make(map[expectation]int)
+	for name, src := range fixture {
+		abs := filepath.Join(root, filepath.FromSlash(name))
+		for i, line := range strings.Split(src, "\n") {
+			_, marker, ok := strings.Cut(line, "// want:")
+			if !ok {
+				continue
+			}
+			for _, a := range strings.Split(strings.TrimSpace(marker), ",") {
+				out[expectation{abs, i + 1, strings.TrimSpace(a)}]++
+			}
+		}
+	}
+	return out
+}
+
+func TestAnalyzersOnFixtureModule(t *testing.T) {
+	root := writeFixture(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModPath != "fixture" {
+		t.Fatalf("ModPath = %q, want fixture", loader.ModPath)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		paths[i] = p.Path
+		for _, terr := range p.TypeErrors {
+			t.Errorf("typecheck %s: %v", p.Path, terr)
+		}
+	}
+	sort.Strings(paths)
+	wantPaths := []string{"fixture", "fixture/internal/live", "fixture/internal/sim"}
+	if fmt.Sprint(paths) != fmt.Sprint(wantPaths) {
+		t.Fatalf("loaded %v, want %v", paths, wantPaths)
+	}
+
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[expectation]int)
+	for _, d := range diags {
+		got[expectation{d.Pos.Filename, d.Pos.Line, d.Analyzer}]++
+	}
+	want := wantedDiags(root)
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s:%d: got %d %s diagnostic(s), want %d",
+				k.file, k.line, got[k], k.analyzer, n)
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("%s:%d: unexpected %s diagnostic (×%d)", k.file, k.line, k.analyzer, n)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+	}
+}
+
+// TestRunSingleAnalyzer checks analyzer selection the way sdme-vet -run
+// uses it: only the requested analyzer's findings survive.
+func TestRunSingleAnalyzer(t *testing.T) {
+	root := writeFixture(t)
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{lint.SimDeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "simdeterminism" {
+			t.Errorf("unexpected analyzer %q", d.Analyzer)
+		}
+	}
+}
+
+// TestVetIgnoreWildcard checks that `//vet:ignore *` suppresses every
+// analyzer on the next line.
+func TestVetIgnoreWildcard(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module wild\n\ngo 1.24\n",
+		"internal/sim/s.go": `package sim
+
+import "time"
+
+func T() int64 {
+	//vet:ignore *
+	return time.Now().UnixNano()
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("suppressed line still reported: %s", d)
+	}
+}

@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedBlocking flags operations that can block for unbounded time
+// while a sync.Mutex or sync.RWMutex is held. A goroutine parked on a
+// channel or a socket with a mutex held convoys every other goroutine
+// needing that mutex — in the lock-heavy live runtime and management
+// channel this turns one slow peer into a stalled dataplane.
+//
+// The check is an intra-procedural linear walk of each function body:
+// x.Lock()/x.RLock() marks the mutex held, x.Unlock()/x.RUnlock()
+// releases it, `defer x.Unlock()` keeps it held to the end of the body.
+// While any mutex is held it reports:
+//
+//   - channel sends and receives;
+//   - select statements without a default clause;
+//   - sync.WaitGroup.Wait;
+//   - method calls on net package values (conn reads/writes/accepts);
+//   - time.Sleep.
+//
+// Branches are analyzed with a copy of the held set, so a conditional
+// unlock does not leak out of its branch. Function literals are skipped:
+// a closure body runs at an unknown time under unknown locks.
+var LockedBlocking = &Analyzer{
+	Name: "lockedblocking",
+	Doc:  "flag blocking operations performed while a sync mutex is held",
+	Run:  runLockedBlocking,
+}
+
+func runLockedBlocking(pass *Pass) error {
+	forEachFunc(pass.Pkg, func(fd *ast.FuncDecl) {
+		c := &lockChecker{pass: pass}
+		c.block(fd.Body.List, make(map[string]token.Pos))
+	})
+	return nil
+}
+
+// lockChecker walks one function body.
+type lockChecker struct {
+	pass *Pass
+}
+
+// heldNames renders the held set for messages, deterministic order.
+func heldNames(held map[string]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// block walks a statement list, threading the held-lock set through it.
+// The map is mutated in place for sequential flow; branches get copies.
+func (c *lockChecker) block(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		c.stmt(s, held)
+	}
+}
+
+// copyHeld clones the held set for branch analysis.
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (c *lockChecker) stmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, kind, ok := c.mutexOp(call); ok {
+				switch kind {
+				case "Lock", "RLock":
+					held[name] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, name)
+				}
+				return
+			}
+		}
+		c.expr(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the mutex held to the end of the
+		// body, which the linear walk models by simply not releasing.
+		// Other deferred calls run after the body too — their blocking
+		// behaviour is not attributable to this point, so skip them.
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's locks;
+		// only evaluate the call's arguments.
+		for _, arg := range s.Call.Args {
+			c.expr(arg, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.pass.Reportf(s.Pos(), "channel send while mutex %s is held", heldNames(held))
+		}
+		c.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.expr(e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		c.block(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			c.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, inner)
+		}
+		c.block(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X, held)
+		c.block(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			c.pass.Reportf(s.Pos(), "select without default blocks while mutex %s is held", heldNames(held))
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				c.block(cl.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		c.block(s.List, copyHeld(held))
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	}
+}
+
+// selectHasDefault reports whether a select carries a default clause.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if cl, ok := cc.(*ast.CommClause); ok && cl.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// expr inspects an expression tree for blocking operations, skipping
+// nested function literals.
+func (c *lockChecker) expr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.pass.Reportf(n.Pos(), "channel receive while mutex %s is held", heldNames(held))
+			}
+		case *ast.CallExpr:
+			c.blockingCall(n, held)
+		}
+		return true
+	})
+}
+
+// blockingCall reports calls that block: WaitGroup.Wait, net I/O,
+// time.Sleep.
+func (c *lockChecker) blockingCall(call *ast.CallExpr, held map[string]token.Pos) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// time.Sleep (package-level function).
+	if pkgPath, ok := packageQualifier(c.pass, sel); ok {
+		if pkgPath == "time" && sel.Sel.Name == "Sleep" {
+			c.pass.Reportf(call.Pos(), "time.Sleep while mutex %s is held", heldNames(held))
+		}
+		return
+	}
+	recv := c.receiverType(sel)
+	if recv == nil {
+		return
+	}
+	if isNamedIn(recv, "sync", "WaitGroup") && sel.Sel.Name == "Wait" {
+		c.pass.Reportf(call.Pos(), "sync.WaitGroup.Wait while mutex %s is held", heldNames(held))
+		return
+	}
+	if pkgOf(recv) == "net" && netBlockingMethods[sel.Sel.Name] {
+		c.pass.Reportf(call.Pos(), "%s.%s on a net connection while mutex %s is held",
+			types.TypeString(recv, qualifierShort), sel.Sel.Name, heldNames(held))
+	}
+}
+
+// netBlockingMethods are the net connection methods that can block.
+var netBlockingMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"ReadFromUDP": true, "WriteToUDP": true, "ReadMsgUDP": true,
+	"WriteMsgUDP": true, "Accept": true, "AcceptTCP": true,
+}
+
+// mutexOp recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock calls on
+// sync mutexes and returns the lock's source expression and operation.
+func (c *lockChecker) mutexOp(call *ast.CallExpr) (name, kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := c.receiverType(sel)
+	if recv == nil {
+		return "", "", false
+	}
+	if !isNamedIn(recv, "sync", "Mutex") && !isNamedIn(recv, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// receiverType resolves the type of sel.X for a method selection, nil
+// when type information is unavailable.
+func (c *lockChecker) receiverType(sel *ast.SelectorExpr) types.Type {
+	if s, ok := c.pass.Pkg.Info.Selections[sel]; ok {
+		return deref(s.Recv())
+	}
+	if tv, ok := c.pass.Pkg.Info.Types[sel.X]; ok {
+		return deref(tv.Type)
+	}
+	return nil
+}
+
+// deref unwraps pointers.
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// isNamedIn reports whether t is the named type pkg.name.
+func isNamedIn(t types.Type, pkg, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkg
+}
+
+// pkgOf returns the defining package path of a named type ("" for
+// unnamed types).
+func pkgOf(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// qualifierShort renders type names package-qualified without the full
+// import path.
+func qualifierShort(p *types.Package) string { return p.Name() }

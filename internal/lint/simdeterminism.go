@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimDeterminism flags nondeterminism sources in the simulation
+// packages. The discrete-event simulator, the experiment harness and the
+// workload generator must derive every timestamp from the event clock
+// and every random draw from a seeded *rand.Rand threaded through the
+// call tree: a stray time.Now or global math/rand call makes a resumed
+// or re-seeded run diverge from the original, which breaks the
+// reproducibility the figure-scale experiments depend on.
+//
+// Flagged inside simDeterminismPkgs (non-test files only):
+//   - time.Now, time.Since, time.Until — wall-clock reads;
+//   - package-level math/rand functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, …) — they draw from the process-global source.
+//     Constructors of private sources (rand.New, rand.NewSource,
+//     rand.NewZipf) stay allowed.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "flag wall-clock and global-rand use inside the deterministic simulation packages",
+	Run:  runSimDeterminism,
+}
+
+// simDeterminismPkgs are the import-path suffixes the analyzer guards.
+var simDeterminismPkgs = []string{
+	"/internal/sim",
+	"/internal/experiments",
+	"/internal/workload",
+}
+
+// timeWallClock names the time functions that read the wall clock.
+var timeWallClock = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randConstructors names the math/rand functions that build private
+// sources instead of drawing from the global one.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	guarded := false
+	for _, suffix := range simDeterminismPkgs {
+		if strings.HasSuffix(pass.Pkg.Path, suffix) {
+			guarded = true
+			break
+		}
+	}
+	if !guarded {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(pass, sel)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if timeWallClock[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; sim time must come from the event clock for reproducible resumes",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] && isFunc(pass, sel.Sel) {
+					pass.Reportf(sel.Pos(),
+						"rand.%s draws from the global math/rand source; thread a seeded *rand.Rand instead",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageQualifier reports whether sel is `pkgname.X` for an imported
+// package, returning that package's import path.
+func packageQualifier(pass *Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isFunc reports whether the selected object is a function (as opposed
+// to a package-level variable or type).
+func isFunc(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.Pkg.Info.Uses[id].(*types.Func)
+	return ok
+}

@@ -99,7 +99,7 @@ func (m *HealthMonitor) loop() {
 }
 
 func (m *HealthMonitor) probeAll() {
-	for _, d := range m.rt.devices {
+	for _, d := range m.rt.Devices() {
 		alive := d.probe(m.interval)
 		id := d.Node.ID
 		m.mu.Lock()

@@ -91,6 +91,15 @@ func (r *Runtime) register(a netaddr.Addr, ep *net.UDPAddr) {
 	r.endpoints[a] = ep
 }
 
+// Devices returns a snapshot of the runtime's devices. The health
+// monitor iterates this while AddDevice may be registering more, so the
+// slice is copied under the lock.
+func (r *Runtime) Devices() []*Device {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]*Device(nil), r.devices...)
+}
+
 // lookup resolves a model address.
 func (r *Runtime) lookup(a netaddr.Addr) (*net.UDPAddr, bool) {
 	r.mu.RLock()
@@ -99,23 +108,31 @@ func (r *Runtime) lookup(a netaddr.Addr) (*net.UDPAddr, bool) {
 	return ep, ok
 }
 
-// Close stops every device and sink.
+// Close stops every device and sink. Devices and sinks are snapshotted
+// under the lock, then stopped outside it: stop() waits on each loop
+// goroutine, and blocking on that with the runtime lock held would stall
+// any dataplane send still resolving an endpoint.
 func (r *Runtime) Close() {
-	for _, d := range r.devices {
+	r.mu.RLock()
+	devices := append([]*Device(nil), r.devices...)
+	sinks := append([]*Sink(nil), r.sinks...)
+	r.mu.RUnlock()
+	for _, d := range devices {
 		d.stop()
 	}
-	for _, s := range r.sinks {
+	for _, s := range sinks {
 		s.stop()
 	}
 }
 
 // Device wraps one enforcement node and its socket.
 type Device struct {
-	Node *enforce.Node
-	rt   *Runtime
-	conn *net.UDPConn
-	done chan struct{}
-	wg   sync.WaitGroup
+	Node     *enforce.Node
+	rt       *Runtime
+	conn     *net.UDPConn
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 	// queries serializes counter reads through the device loop so tests
 	// never race with the dataplane goroutine.
 	queries chan chan enforce.Counters
@@ -146,7 +163,9 @@ func (r *Runtime) AddDevice(n *enforce.Node) (*Device, error) {
 		commands: make(chan func()),
 	}
 	r.register(n.Addr, conn.LocalAddr().(*net.UDPAddr))
+	r.mu.Lock()
 	r.devices = append(r.devices, d)
+	r.mu.Unlock()
 	d.wg.Add(1)
 	go d.loop()
 	return d, nil
@@ -160,7 +179,9 @@ func (d *Device) Counters() enforce.Counters {
 	case d.queries <- resp:
 		return <-resp
 	case <-d.done:
-		// Loop stopped; safe to read directly.
+		// Stop was requested, but the loop may still be finishing its
+		// last frame; wait for it before reading the node directly.
+		d.wg.Wait()
 		return d.Node.Counters
 	}
 }
@@ -185,11 +206,9 @@ func (d *Device) Do(fn func(n *enforce.Node)) bool {
 }
 
 func (d *Device) stop() {
-	select {
-	case <-d.done:
-	default:
-		close(d.done)
-	}
+	// Once, not a done-channel check: two concurrent stops (runtime
+	// Close racing a failure-injecting test) must not double-close.
+	d.stopOnce.Do(func() { close(d.done) })
 	_ = d.conn.Close()
 	d.wg.Wait()
 }
@@ -331,10 +350,11 @@ func (r *Runtime) sendTo(ep *net.UDPAddr, frame []byte) {
 // Sink is a destination endpoint: it accepts data frames for one or more
 // model addresses and records what it received.
 type Sink struct {
-	rt   *Runtime
-	conn *net.UDPConn
-	done chan struct{}
-	wg   sync.WaitGroup
+	rt       *Runtime
+	conn     *net.UDPConn
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	mu       sync.Mutex
 	byFlow   map[netaddr.FiveTuple]int
@@ -359,18 +379,16 @@ func (r *Runtime) AddSink(addrs ...netaddr.Addr) (*Sink, error) {
 	for _, a := range addrs {
 		r.register(a, conn.LocalAddr().(*net.UDPAddr))
 	}
+	r.mu.Lock()
 	r.sinks = append(r.sinks, s)
+	r.mu.Unlock()
 	s.wg.Add(1)
 	go s.loop()
 	return s, nil
 }
 
 func (s *Sink) stop() {
-	select {
-	case <-s.done:
-	default:
-		close(s.done)
-	}
+	s.stopOnce.Do(func() { close(s.done) })
 	_ = s.conn.Close()
 	s.wg.Wait()
 }

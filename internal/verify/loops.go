@@ -1,0 +1,184 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// CheckLoops verifies loop-freedom of the tunnel overlay each policy
+// chain induces. Two distinct hazards are checked per chain:
+//
+//  1. Stage regression: the dataplane infers a packet's chain position
+//     from the earliest function of the action list the receiving node
+//     implements (enforce.Node.myFunc). If the provider chosen for stage
+//     i also implements an earlier chain function, the packet's position
+//     is re-inferred as that earlier stage and the completed prefix of
+//     the chain re-runs — a forwarding loop even though every individual
+//     candidate list looks sane.
+//
+//  2. Graph cycles: the union of per-stage fan-out edges (x → every
+//     member of M_x^e) must be acyclic. With healthy assignments the
+//     overlay is layered by chain stage and trivially acyclic; corrupted
+//     candidate sets (a node listed as its own candidate, mutual
+//     candidacy between multi-function boxes) introduce real cycles that
+//     a per-list check cannot see.
+//
+// Chains are deduplicated by action signature so a table with hundreds
+// of policies over the paper's four chain classes is verified in four
+// passes.
+func CheckLoops(p Plan) []Violation {
+	var out []Violation
+	seen := make(map[string]bool)
+	for _, pol := range p.Policies.All() {
+		if pol.Actions.IsPermit() {
+			continue
+		}
+		sig := chainSignature(pol.Actions)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, checkChainLoops(p, pol.ID, pol.Actions)...)
+	}
+	return out
+}
+
+// chainSignature keys a chain by its exact function sequence.
+func chainSignature(chain policy.ActionList) string {
+	var b strings.Builder
+	for _, e := range chain {
+		fmt.Fprintf(&b, "%d,", int(e))
+	}
+	return b.String()
+}
+
+// checkChainLoops runs both hazard checks for one chain, attributing
+// violations to the representative policy polID.
+func checkChainLoops(p Plan, polID int, chain policy.ActionList) []Violation {
+	var out []Violation
+
+	// earliestStage[n] = first chain index whose function n implements,
+	// or -1. This is the dataplane's position-inference function.
+	earliest := func(n topo.NodeID) int {
+		for i, e := range chain {
+			if p.implements(n, e) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// Walk the overlay stage by stage, collecting node-level edges.
+	// frontier holds the nodes that forward toward stage i's function:
+	// the proxies for stage 0, then stage i-1's providers.
+	edges := make(map[topo.NodeID][]topo.NodeID)
+	frontier := append([]topo.NodeID(nil), p.Dep.ProxyNodes...)
+	for i, e := range chain {
+		nextSet := make(map[topo.NodeID]bool)
+		for _, x := range frontier {
+			if p.implements(x, e) {
+				// x performs stage i itself; it forwards toward stage
+				// i+1 from the next iteration's frontier.
+				nextSet[x] = true
+				continue
+			}
+			for _, y := range p.Candidates[x][e] {
+				edges[x] = append(edges[x], y)
+				nextSet[y] = true
+				if es := earliest(y); es >= 0 && es < i {
+					out = append(out, Violation{
+						Invariant: InvLoop,
+						Severity:  SevError,
+						Node:      x,
+						PolicyID:  polID,
+						Func:      e,
+						Detail: fmt.Sprintf("stage %d (%v) candidate node %d also implements earlier chain function %v (stage %d); the dataplane would re-run the completed prefix — forwarding loop",
+							i, e, int(y), chain[es], es),
+					})
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for n := range nextSet {
+			frontier = append(frontier, n)
+		}
+		sort.Slice(frontier, func(a, b int) bool { return frontier[a] < frontier[b] })
+	}
+
+	if cycle := findCycle(edges); cycle != nil {
+		parts := make([]string, len(cycle))
+		for i, n := range cycle {
+			parts[i] = fmt.Sprintf("%d", int(n))
+		}
+		out = append(out, Violation{
+			Invariant: InvLoop,
+			Severity:  SevError,
+			Node:      cycle[0],
+			PolicyID:  polID,
+			Func:      chain[0],
+			Detail:    fmt.Sprintf("tunnel overlay contains cycle %s", strings.Join(parts, " → ")),
+		})
+	}
+	return out
+}
+
+// findCycle runs an iterative three-color DFS over the edge map and
+// returns one cycle as a node sequence (first node repeated at the end),
+// or nil. Roots are visited in ascending order so the reported cycle is
+// deterministic.
+func findCycle(edges map[topo.NodeID][]topo.NodeID) []topo.NodeID {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make(map[topo.NodeID]int)
+	parent := make(map[topo.NodeID]topo.NodeID)
+
+	roots := make([]topo.NodeID, 0, len(edges))
+	for n := range edges {
+		roots = append(roots, n)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+
+	var dfs func(n topo.NodeID) []topo.NodeID
+	dfs = func(n topo.NodeID) []topo.NodeID {
+		color[n] = grey
+		next := append([]topo.NodeID(nil), edges[n]...)
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, m := range next {
+			switch color[m] {
+			case white:
+				parent[m] = n
+				if c := dfs(m); c != nil {
+					return c
+				}
+			case grey:
+				// Back edge n → m: reconstruct m … n m.
+				cycle := []topo.NodeID{m}
+				for v := n; v != m; v = parent[v] {
+					cycle = append(cycle, v)
+				}
+				// parent chain gives the path reversed; flip the tail.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return append(cycle, m)
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, r := range roots {
+		if color[r] == white {
+			if c := dfs(r); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
