@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify-examples check
+.PHONY: all build test race vet fmt verify-examples chaos check
 
 all: build
 
@@ -27,6 +27,15 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Fault-injection suite under the race detector, twice: reconnect
+# storms, ack loss, wedged devices and the full recovery-convergence
+# schedule on both substrates. -count=2 defeats test caching and shakes
+# out order-dependent flakes.
+chaos:
+	$(GO) test -race -count=2 ./internal/faultinject/
+	$(GO) test -race -count=2 -run 'Chaos|Recovery|Reconnect|Wedge' \
+		./internal/mgmt/ ./internal/live/ ./internal/experiments/
 
 # Statically verify the controller plan (candidate sets, loop freedom,
 # hot-potato optimality, LB weights) on both example topologies.

@@ -151,6 +151,31 @@ func run() error {
 	}
 	fmt.Fprintf(md, "\n## Ablation C: Eq. (1) vs Eq. (2)\n\n%s", experiments.FormulationMarkdown(cmp))
 
+	recCfg := experiments.RecoveryConfig{Seed: *seed}
+	if *quick {
+		recCfg.Flows = 20
+		recCfg.PacketsPerFlow = 100
+	}
+	start := time.Now()
+	recRes, err := experiments.RunRecoveryExperiments(recCfg)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	recPath := filepath.Join(*out, "recovery.csv")
+	rf, err := os.Create(recPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteRecoveryCSV(rf, recRes); err != nil {
+		_ = rf.Close()
+		return err
+	}
+	if err := rf.Close(); err != nil {
+		return fmt.Errorf("close recovery.csv: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Recovery convergence under the acceptance fault schedule\n\n%s", experiments.RecoveryMarkdown(recRes))
+	fmt.Printf("recovery: %d substrates -> %s (%v)\n", len(recRes), recPath, time.Since(start).Round(time.Millisecond))
+
 	if *multiseed > 1 {
 		seeds := make([]int64, *multiseed)
 		for i := range seeds {

@@ -120,13 +120,18 @@ func run() error {
 		return fmt.Errorf("agents failed to connect")
 	}
 
-	// Push every node's configuration over the wire.
+	// Push every node's configuration over the wire. PushRetry rides the
+	// self-healing channel: a dropped connection or lost ack is retried
+	// with backoff, and each push carries a monotonic config epoch so a
+	// reconnecting agent applies it at most once.
+	pushPol := mgmt.RetryPolicy{Attempts: 3, PerAttempt: 3 * time.Second, Backoff: 50 * time.Millisecond}
 	for id, n := range nodes {
-		if err := server.Push(id, mgmt.ConfigToDTO(0, n.Config()), 3*time.Second); err != nil {
+		if err := server.PushRetry(id, mgmt.ConfigToDTO(0, n.Config()), pushPol); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("\nconfiguration pushed to %d nodes over the management channel\n", len(nodes))
+	fmt.Printf("\nconfiguration pushed to %d nodes over the management channel (epoch %d)\n",
+		len(nodes), server.Epoch())
 
 	sink, err := rt.AddSink(topo.HostAddr(2, 1))
 	if err != nil {
@@ -182,7 +187,7 @@ func run() error {
 		return err
 	}
 	for id := range nodes {
-		if err := server.Push(id, mgmt.WeightsToDTO(0, sol.Weights[id]), 3*time.Second); err != nil {
+		if err := server.PushRetry(id, mgmt.WeightsToDTO(0, sol.Weights[id]), pushPol); err != nil {
 			return err
 		}
 	}
@@ -196,6 +201,18 @@ func run() error {
 		fmt.Printf("  %-12s in=%-4d load=%-4d tunnelTx=%-4d labelTx=%-4d classif=%-3d controlTx=%d controlRx=%d\n",
 			g.Node(id).Name, c.PacketsIn, c.Load, c.TunnelTx, c.LabelTx, c.Classified, c.ControlTx, c.ControlRx)
 	}
+
+	// Management-channel health: on a clean loopback run every agent
+	// holds its first connection (0 reconnects) and has acked the latest
+	// epoch pushed to it.
+	var reconnects, applies int64
+	for _, a := range agents {
+		st := a.Stats()
+		reconnects += st.Reconnects
+		applies += st.Applies
+	}
+	fmt.Printf("\nmanagement channel: epoch %d, converged %v, %d reconnects, %d configs applied\n",
+		server.Epoch(), server.Converged(ids...), reconnects, applies)
 	return nil
 }
 

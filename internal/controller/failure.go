@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,26 @@ import (
 	"sdme/internal/policy"
 	"sdme/internal/topo"
 )
+
+// ErrNoLiveProvider is the sentinel every NoLiveProviderError matches
+// via errors.Is: some network function has no live middlebox left, so
+// enforcement of that function is impossible until one recovers.
+// Recovery loops branch on it — it means "degrade and keep watching",
+// not "abort".
+var ErrNoLiveProvider = errors.New("no live provider")
+
+// NoLiveProviderError reports which function lost its last provider.
+type NoLiveProviderError struct {
+	// Func is the network function with no live middlebox.
+	Func policy.FuncType
+}
+
+func (e *NoLiveProviderError) Error() string {
+	return fmt.Sprintf("controller: no live middlebox implements %v", e.Func)
+}
+
+// Is makes errors.Is(err, ErrNoLiveProvider) match.
+func (e *NoLiveProviderError) Is(target error) bool { return target == ErrNoLiveProvider }
 
 // Failure handling — the "dependable" in the paper's title. The
 // controller monitors middlebox liveness (in a real deployment via the
@@ -78,7 +99,7 @@ func (c *Controller) liveProviders(e policy.FuncType) []topo.NodeID {
 func (c *Controller) ComputeCandidates() (map[topo.NodeID]map[policy.FuncType][]topo.NodeID, error) {
 	for _, e := range c.dep.Functions() {
 		if len(c.liveProviders(e)) == 0 {
-			return nil, fmt.Errorf("controller: no live middlebox implements %v", e)
+			return nil, &NoLiveProviderError{Func: e}
 		}
 	}
 	c.computeAssignments()

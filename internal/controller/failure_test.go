@@ -1,6 +1,7 @@
 package controller_test
 
 import (
+	"errors"
 	"testing"
 
 	"sdme/internal/netaddr"
@@ -120,8 +121,21 @@ func TestReassignFailsWhenFunctionUncovered(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := ctl.Reassign(nodes); err == nil {
-		t.Error("Reassign must fail when a function loses all providers")
+	err = ctl.Reassign(nodes)
+	if err == nil {
+		t.Fatal("Reassign must fail when a function loses all providers")
+	}
+	// The failure is typed: recovery loops branch on the sentinel and read
+	// the starved function off the concrete error.
+	if !errors.Is(err, controller.ErrNoLiveProvider) {
+		t.Errorf("err = %v, want errors.Is ErrNoLiveProvider", err)
+	}
+	var nlp *controller.NoLiveProviderError
+	if !errors.As(err, &nlp) {
+		t.Fatalf("err = %T, want *NoLiveProviderError", err)
+	}
+	if nlp.Func != policy.FuncIDS {
+		t.Errorf("starved function = %v, want %v", nlp.Func, policy.FuncIDS)
 	}
 }
 

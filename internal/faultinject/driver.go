@@ -1,0 +1,104 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Scheduler is the slice of the discrete-event engine the simulator
+// driver needs (sim.Engine satisfies it). Keeping it an interface keeps
+// this package dependency-free of the simulator.
+type Scheduler interface {
+	// After runs fn delayUS microseconds of virtual time from now.
+	After(delayUS int64, fn func())
+}
+
+// DriveSim schedules every resolved event of the schedule onto a
+// discrete-event engine, calling apply at each event's virtual firing
+// time. Events at the same resolved instant apply in script order (the
+// engine's FIFO tie-break preserves the order DriveSim submits them in).
+func DriveSim(s *Schedule, eng Scheduler, apply func(Event)) {
+	for _, e := range s.Resolve() {
+		e := e
+		eng.After(e.AtUS, func() { apply(e) })
+	}
+}
+
+// LiveDriver replays a schedule against the live runtime on wall-clock
+// timers. Events fire from a single goroutine in resolved order, so an
+// apply function touching shared state needs no ordering logic of its
+// own (it still needs the usual locking against other goroutines).
+type LiveDriver struct {
+	events []Event
+	apply  func(Event)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu      sync.Mutex
+	applied int
+}
+
+// NewLiveDriver prepares a live replay; call Start to begin firing.
+func NewLiveDriver(s *Schedule, apply func(Event)) *LiveDriver {
+	return &LiveDriver{
+		events: s.Resolve(),
+		apply:  apply,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start begins the replay. Offsets are measured from this call.
+func (d *LiveDriver) Start() {
+	go d.run()
+}
+
+// Stop cancels any unfired events and waits for the replay goroutine.
+// Safe to call multiple times and after natural completion.
+func (d *LiveDriver) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// Wait blocks until every event has fired (or Stop cancels the rest).
+func (d *LiveDriver) Wait() { <-d.done }
+
+// Applied reports how many events have fired so far.
+func (d *LiveDriver) Applied() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applied
+}
+
+func (d *LiveDriver) run() {
+	defer close(d.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var elapsed time.Duration
+	for _, e := range d.events {
+		at := time.Duration(e.AtUS) * time.Microsecond
+		if wait := at - elapsed; wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-d.stop:
+				return
+			}
+			elapsed = at
+		}
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		d.apply(e)
+		d.mu.Lock()
+		d.applied++
+		d.mu.Unlock()
+	}
+}

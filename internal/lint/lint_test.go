@@ -50,6 +50,26 @@ func Suppressed() time.Time {
 }
 `,
 
+	// Fault schedules replay under the simulator; the guard extends to
+	// them so jitter can only come from the schedule's seeded RNG.
+	"internal/faultinject/fi.go": `package faultinject
+
+import (
+	"math/rand"
+	"time"
+)
+
+func BadJitter() (int64, int64) {
+	at := time.Now().UnixMicro() // want:simdeterminism
+	j := rand.Int63n(1000)       // want:simdeterminism
+	return at, j
+}
+
+func SeededJitter(seed int64) int64 {
+	return rand.New(rand.NewSource(seed)).Int63n(1000)
+}
+`,
+
 	"internal/live/live.go": `package live
 
 import (
@@ -184,7 +204,7 @@ func TestAnalyzersOnFixtureModule(t *testing.T) {
 		}
 	}
 	sort.Strings(paths)
-	wantPaths := []string{"fixture", "fixture/internal/live", "fixture/internal/sim"}
+	wantPaths := []string{"fixture", "fixture/internal/faultinject", "fixture/internal/live", "fixture/internal/sim"}
 	if fmt.Sprint(paths) != fmt.Sprint(wantPaths) {
 		t.Fatalf("loaded %v, want %v", paths, wantPaths)
 	}

@@ -31,6 +31,9 @@ var simDeterminismPkgs = []string{
 	"/internal/sim",
 	"/internal/experiments",
 	"/internal/workload",
+	// Fault schedules must replay identically under the simulator; jitter
+	// comes from the schedule's own seeded RNG, never the global source.
+	"/internal/faultinject",
 }
 
 // timeWallClock names the time functions that read the wall clock.

@@ -98,12 +98,28 @@ func (m *HealthMonitor) loop() {
 	}
 }
 
+// probeAll sweeps every device concurrently: one wedged device costs the
+// sweep a single probe timeout instead of stalling every later device's
+// down-detection behind it (sequential probing delayed detection by up
+// to 2×interval per wedged device ahead of the victim). State updates
+// and callbacks then run sequentially in Devices() order, so callback
+// ordering stays deterministic per sweep.
 func (m *HealthMonitor) probeAll() {
-	for _, d := range m.rt.Devices() {
-		alive := d.probe(m.interval)
+	devs := m.rt.Devices()
+	alive := make([]bool, len(devs))
+	var wg sync.WaitGroup
+	for i, d := range devs {
+		wg.Add(1)
+		go func(i int, d *Device) {
+			defer wg.Done()
+			alive[i] = d.probe(m.interval)
+		}(i, d)
+	}
+	wg.Wait()
+	for i, d := range devs {
 		id := d.Node.ID
 		m.mu.Lock()
-		if alive {
+		if alive[i] {
 			m.missed[id] = 0
 			if m.down[id] {
 				m.down[id] = false
@@ -152,3 +168,26 @@ func (d *Device) probe(timeout time.Duration) bool {
 // Stop halts one device's loop without closing the whole runtime — the
 // failure-injection hook for tests and demos.
 func (d *Device) Stop() { d.stop() }
+
+// Wedge blocks the device's loop goroutine until the returned release
+// function is called (or the device stops) — the fault-injection hook
+// for a device that is alive at the socket but dead at the dataplane:
+// health probes time out, Do calls stall, frames pile up unread. Unlike
+// Stop, a wedged device recovers fully on release, queued commands and
+// all. The release function is idempotent.
+func (d *Device) Wedge() (release func()) {
+	released := make(chan struct{})
+	var once sync.Once
+	release = func() { once.Do(func() { close(released) }) }
+	blocked := func() {
+		select {
+		case <-released:
+		case <-d.done:
+		}
+	}
+	select {
+	case d.commands <- blocked:
+	case <-d.done:
+	}
+	return release
+}

@@ -84,6 +84,11 @@ func NewRuntime() *Runtime {
 // now returns microseconds since runtime start (the dataplane's tick).
 func (r *Runtime) now() int64 { return time.Since(r.start).Microseconds() }
 
+// NowUS exposes the runtime clock (microseconds since start) — the live
+// counterpart of the simulator's virtual clock, so experiments measure
+// convergence on the same axis in both substrates.
+func (r *Runtime) NowUS() int64 { return r.now() }
+
 // register maps a model address to a UDP endpoint.
 func (r *Runtime) register(a netaddr.Addr, ep *net.UDPAddr) {
 	r.mu.Lock()

@@ -2,120 +2,326 @@ package mgmt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdme/internal/enforce"
 	"sdme/internal/live"
 )
 
+// AgentOptions tunes the agent's self-healing behavior. The zero value
+// gives the defaults documented per field.
+type AgentOptions struct {
+	// ReportEvery > 0 enables periodic measurement reports (proxies).
+	ReportEvery time.Duration
+	// Dial overrides how the agent (re)connects; nil dials the server
+	// address over TCP. Fault-injection harnesses wrap it (see
+	// faultinject.ConnTap) to interpose a fault-carrying connection.
+	Dial func() (net.Conn, error)
+	// BackoffMin/BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 10ms and 2s). Each failed dial doubles the base
+	// delay; the actual sleep is uniformly drawn from [base/2, base].
+	BackoffMin, BackoffMax time.Duration
+	// Seed drives the backoff jitter (default: the device's node ID, so
+	// a fleet of agents created together de-synchronizes its retries
+	// deterministically).
+	Seed int64
+	// MaxReconnectAttempts caps consecutive failed dials before the
+	// agent gives up (0 = retry forever).
+	MaxReconnectAttempts int
+}
+
+func (o *AgentOptions) fill(dev *live.Device, serverAddr string) {
+	if o.Dial == nil {
+		o.Dial = func() (net.Conn, error) { return net.Dial("tcp", serverAddr) }
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = o.BackoffMin
+	}
+	if o.Seed == 0 {
+		o.Seed = int64(dev.Node.ID) + 1
+	}
+}
+
+// AgentStats counts the agent's self-healing activity.
+type AgentStats struct {
+	// Reconnects counts successful re-dials after the initial connect.
+	Reconnects int64
+	// Applies counts configurations actually installed on the device.
+	Applies int64
+	// StaleConfigs counts configs acked idempotently because their epoch
+	// was already applied (reconnect re-pushes crossing an earlier ack).
+	StaleConfigs int64
+	// ReportsSent counts measurement reports shipped to the controller.
+	ReportsSent int64
+}
+
 // Agent is the device-side endpoint: it connects a live runtime device to
 // the controller's management server, applies pushed configurations
 // inside the device's own goroutine, and (for proxies) reports traffic
 // measurements periodically.
+//
+// The agent is self-healing: when its connection dies it redials with
+// jittered exponential backoff, re-introduces itself with a HELLO
+// carrying the last applied epoch, and resumes measurement reporting on
+// the new connection — unsent reports are carried over, not lost.
 type Agent struct {
 	dev  *live.Device
-	conn net.Conn
+	opts AgentOptions
 
+	// writeMu guards conn (both the pointer swap on reconnect and frame
+	// writes), keeping each frame whole on whichever connection is live.
 	writeMu sync.Mutex
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	conn    net.Conn
+
+	epoch      atomic.Uint64 // last applied config epoch
+	reconnects atomic.Int64
+	applies    atomic.Int64
+	stale      atomic.Int64
+	reports    atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // NewAgent dials the server, introduces the device, and starts the agent
-// loops. reportEvery > 0 enables periodic measurement reports (proxies).
+// loops with default self-healing options. reportEvery > 0 enables
+// periodic measurement reports (proxies).
 func NewAgent(dev *live.Device, serverAddr string, reportEvery time.Duration) (*Agent, error) {
-	conn, err := net.Dial("tcp", serverAddr)
+	return NewAgentWith(dev, serverAddr, AgentOptions{ReportEvery: reportEvery})
+}
+
+// NewAgentWith is NewAgent with explicit options. The initial dial is
+// synchronous — a server that is down at startup is an error; only
+// connections lost after a successful start heal automatically.
+func NewAgentWith(dev *live.Device, serverAddr string, opts AgentOptions) (*Agent, error) {
+	opts.fill(dev, serverAddr)
+	a := &Agent{dev: dev, opts: opts, stop: make(chan struct{})}
+	conn, err := a.connect()
 	if err != nil {
 		return nil, fmt.Errorf("mgmt: dial %s: %w", serverAddr, err)
 	}
-	a := &Agent{dev: dev, conn: conn, stop: make(chan struct{})}
-	hello := Hello{NodeID: int(dev.Node.ID), Proxy: dev.Node.IsProxy}
-	if err := a.write(TypeHello, hello); err != nil {
-		_ = conn.Close()
-		return nil, err
-	}
 	a.wg.Add(1)
-	go a.readLoop()
-	if reportEvery > 0 && dev.Node.IsProxy {
+	go a.run(conn)
+	if opts.ReportEvery > 0 && dev.Node.IsProxy {
 		a.wg.Add(1)
-		go a.reportLoop(reportEvery)
+		go a.reportLoop(opts.ReportEvery)
 	}
 	return a, nil
 }
 
 // Close stops the agent.
 func (a *Agent) Close() {
-	select {
-	case <-a.stop:
-	default:
-		close(a.stop)
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.writeMu.Lock()
+	if a.conn != nil {
+		_ = a.conn.Close()
 	}
-	_ = a.conn.Close()
+	a.writeMu.Unlock()
 	a.wg.Wait()
+}
+
+// LastEpoch returns the last configuration epoch the agent applied.
+func (a *Agent) LastEpoch() uint64 { return a.epoch.Load() }
+
+// Stats snapshots the agent's self-healing counters.
+func (a *Agent) Stats() AgentStats {
+	return AgentStats{
+		Reconnects:   a.reconnects.Load(),
+		Applies:      a.applies.Load(),
+		StaleConfigs: a.stale.Load(),
+		ReportsSent:  a.reports.Load(),
+	}
+}
+
+// connect dials and performs the HELLO handshake, installing the new
+// connection as current.
+func (a *Agent) connect() (net.Conn, error) {
+	conn, err := a.opts.Dial()
+	if err != nil {
+		return nil, err
+	}
+	a.writeMu.Lock()
+	a.conn = conn
+	err = writeMsg(conn, TypeHello, Hello{
+		NodeID: int(a.dev.Node.ID),
+		Proxy:  a.dev.Node.IsProxy,
+		Epoch:  a.epoch.Load(),
+	})
+	a.writeMu.Unlock()
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	// The handshake completes on the server's hello-ack: from then on the
+	// server routes pushes to this connection, never to a dying
+	// predecessor. A config can legally overtake the hello-ack (a push
+	// racing the registration), so handle those inline. Close unblocks
+	// this read by closing a.conn.
+	for {
+		env, err := readMsg(conn)
+		if err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		if env.T == TypeHelloAck {
+			return conn, nil
+		}
+		if env.T == TypeConfig {
+			a.handleConfig(env.Data)
+		}
+	}
 }
 
 func (a *Agent) write(typ string, v interface{}) error {
 	a.writeMu.Lock()
 	defer a.writeMu.Unlock()
+	if a.conn == nil {
+		return errors.New("mgmt: agent not connected")
+	}
 	return writeMsg(a.conn, typ, v)
 }
 
-func (a *Agent) readLoop() {
+// run owns the connection lifecycle: serve the current connection until
+// it dies, then redial with jittered exponential backoff and re-HELLO.
+func (a *Agent) run(conn net.Conn) {
 	defer a.wg.Done()
+	rng := rand.New(rand.NewSource(a.opts.Seed))
 	for {
-		env, err := readMsg(a.conn)
+		a.readLoop(conn)
+		_ = conn.Close()
+		select {
+		case <-a.stop:
+			return
+		default:
+		}
+
+		backoff := a.opts.BackoffMin
+		attempts := 0
+		for {
+			// Uniform jitter in [backoff/2, backoff]: agents that lost
+			// the same server don't stampede its listener in lockstep.
+			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			timer := time.NewTimer(sleep)
+			select {
+			case <-timer.C:
+			case <-a.stop:
+				timer.Stop()
+				return
+			}
+			c, err := a.connect()
+			if err == nil {
+				// Close may have raced the dial: stop is closed but the
+				// fresh conn escaped its sweep. Shut it down ourselves or
+				// Close's wg.Wait would hang on a readLoop nobody kills.
+				select {
+				case <-a.stop:
+					_ = c.Close()
+					return
+				default:
+				}
+				a.reconnects.Add(1)
+				conn = c
+				break
+			}
+			attempts++
+			if a.opts.MaxReconnectAttempts > 0 && attempts >= a.opts.MaxReconnectAttempts {
+				return
+			}
+			if backoff *= 2; backoff > a.opts.BackoffMax {
+				backoff = a.opts.BackoffMax
+			}
+		}
+	}
+}
+
+// readLoop serves one connection until it dies.
+func (a *Agent) readLoop(conn net.Conn) {
+	for {
+		env, err := readMsg(conn)
 		if err != nil {
 			return
 		}
-		if env.T != TypeConfig {
-			continue
+		if env.T == TypeConfig {
+			a.handleConfig(env.Data)
 		}
-		var dto ConfigDTO
-		if err := json.Unmarshal(env.Data, &dto); err != nil {
-			_ = a.write(TypeAck, Ack{Seq: dto.Seq, Error: "bad config: " + err.Error()})
-			continue
+	}
+}
+
+// handleConfig applies one pushed configuration and acks it.
+func (a *Agent) handleConfig(data []byte) {
+	var dto ConfigDTO
+	if err := json.Unmarshal(data, &dto); err != nil {
+		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Error: "bad config: " + err.Error()})
+		return
+	}
+	// Epoch idempotence: a plan the device already runs (a reconnect
+	// re-push racing an earlier delivery) is acked without
+	// re-applying — at-most-once application per epoch.
+	if dto.Epoch != 0 && dto.Epoch <= a.epoch.Load() {
+		a.stale.Add(1)
+		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch})
+		return
+	}
+	errStr := ""
+	if dto.WeightsOnly {
+		w := WeightsFromDTO(dto.Weights)
+		if !a.dev.Do(func(n *enforce.Node) { n.SetWeights(w) }) {
+			errStr = "device stopped"
 		}
-		errStr := ""
-		if dto.WeightsOnly {
-			w := WeightsFromDTO(dto.Weights)
-			if !a.dev.Do(func(n *enforce.Node) { n.SetWeights(w) }) {
+	} else {
+		cfg, err := ConfigFromDTO(dto)
+		if err != nil {
+			errStr = err.Error()
+		} else {
+			applied := a.dev.Do(func(n *enforce.Node) {
+				if ierr := n.Install(cfg); ierr != nil {
+					errStr = ierr.Error()
+				}
+			})
+			if !applied {
 				errStr = "device stopped"
 			}
-		} else {
-			cfg, err := ConfigFromDTO(dto)
-			if err != nil {
-				errStr = err.Error()
-			} else {
-				applied := a.dev.Do(func(n *enforce.Node) {
-					if ierr := n.Install(cfg); ierr != nil {
-						errStr = ierr.Error()
-					}
-				})
-				if !applied {
-					errStr = "device stopped"
-				}
-			}
 		}
-		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Error: errStr})
 	}
+	if errStr == "" {
+		a.applies.Add(1)
+		if dto.Epoch > a.epoch.Load() {
+			a.epoch.Store(dto.Epoch)
+		}
+	}
+	_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch, Error: errStr})
 }
 
 // reportLoop periodically snapshots and resets the proxy's measurements
 // (inside the device goroutine) and ships them to the controller — the
-// paper's §III-C reporting path.
+// paper's §III-C reporting path. The loop outlives any one connection:
+// rows that fail to send (connection down, reconnect in progress) are
+// carried over and shipped with the next tick's batch, so an outage
+// delays measurements but does not lose them.
 func (a *Agent) reportLoop(every time.Duration) {
 	defer a.wg.Done()
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
+	var carry []MeasureRow
 	for {
 		select {
 		case <-a.stop:
 			return
 		case <-ticker.C:
-			var rows []MeasureRow
+			rows := carry
 			ok := a.dev.Do(func(n *enforce.Node) {
 				for k, v := range n.Measurements() {
 					rows = append(rows, MeasureRow{
@@ -126,14 +332,40 @@ func (a *Agent) reportLoop(every time.Duration) {
 				n.ResetMeasurements()
 			})
 			if !ok {
-				return
+				return // device stopped for good
 			}
 			if len(rows) == 0 {
+				carry = nil
 				continue
 			}
 			if err := a.write(TypeMeasure, Measure{NodeID: int(a.dev.Node.ID), Rows: rows}); err != nil {
-				return
+				carry = compactRows(rows)
+				continue
 			}
+			a.reports.Add(1)
+			carry = nil
 		}
 	}
+}
+
+// compactRows merges carried-over measurement rows by key so a long
+// outage accumulates bounded state (one row per measurement bucket).
+func compactRows(rows []MeasureRow) []MeasureRow {
+	type key struct {
+		policy, src, dst int
+	}
+	sums := make(map[key]int64, len(rows))
+	order := make([]key, 0, len(rows))
+	for _, r := range rows {
+		k := key{r.PolicyID, r.SrcSubnet, r.DstSubnet}
+		if _, seen := sums[k]; !seen {
+			order = append(order, k)
+		}
+		sums[k] += r.Packets
+	}
+	out := make([]MeasureRow, len(order))
+	for i, k := range order {
+		out[i] = MeasureRow{PolicyID: k.policy, SrcSubnet: k.src, DstSubnet: k.dst, Packets: sums[k]}
+	}
+	return out
 }

@@ -81,7 +81,7 @@ type mgmtBed struct {
 	devices map[topo.NodeID]*live.Device
 	sink    *live.Sink
 	server  *mgmt.Server
-	agents  []*mgmt.Agent
+	agents  map[topo.NodeID]*mgmt.Agent
 
 	measMu sync.Mutex
 	meas   controller.Measurements
@@ -120,7 +120,8 @@ func newMgmtBed(t *testing.T, reportEvery time.Duration) *mgmtBed {
 	b := &mgmtBed{
 		g: g, dep: dep, ap: ap, tbl: tbl, ctl: ctl, nodes: nodes,
 		rt: live.NewRuntime(), devices: make(map[topo.NodeID]*live.Device),
-		meas: make(controller.Measurements),
+		agents: make(map[topo.NodeID]*mgmt.Agent),
+		meas:   make(controller.Measurements),
 	}
 	t.Cleanup(func() {
 		for _, a := range b.agents {
@@ -155,7 +156,7 @@ func newMgmtBed(t *testing.T, reportEvery time.Duration) *mgmtBed {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b.agents = append(b.agents, agent)
+		b.agents[id] = agent
 		ids = append(ids, id)
 	}
 	if !server.WaitConnected(3*time.Second, ids...) {
@@ -324,12 +325,7 @@ func TestAgentReconnectAfterServerRestart(t *testing.T) {
 	node := b.dep.MBNodes[0]
 	// Close the agent and re-dial a fresh one to the same server: pushes
 	// must work again (the server replaces the connection).
-	b.agents[0].Close()
-	for i, dev := range b.devices {
-		_ = i
-		_ = dev
-		break
-	}
+	b.agents[node].Close()
 	dev := b.devices[node]
 	agent, err := mgmt.NewAgent(dev, b.server.Addr(), 0)
 	if err != nil {

@@ -1,0 +1,255 @@
+package mgmt_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"sdme/internal/faultinject"
+	"sdme/internal/live"
+	"sdme/internal/mgmt"
+	"sdme/internal/netaddr"
+	"sdme/internal/packet"
+	"sdme/internal/topo"
+)
+
+// TestReconnectDeliversLatestEpochExactlyOnce is the satellite coverage
+// for the self-healing channel: the server-side connection dies
+// mid-stream, a new plan is pushed while the node is unreachable, and
+// the reconnecting agent re-HELLOs, receives the latest-epoch config
+// exactly once, and resumes measurement reporting.
+func TestReconnectDeliversLatestEpochExactlyOnce(t *testing.T) {
+	b := newMgmtBed(t, 20*time.Millisecond)
+	b.server.SetRepushPolicy(mgmt.RetryPolicy{Attempts: 5, PerAttempt: time.Second, Backoff: 20 * time.Millisecond})
+	b.pushAll(t)
+
+	proxyID, _ := b.dep.ProxyFor(1)
+	agent := b.agents[proxyID]
+	applies0 := agent.Stats().Applies
+	epoch0 := agent.LastEpoch()
+	if epoch0 == 0 {
+		t.Fatal("push did not stamp an epoch")
+	}
+
+	// Kill the server-side connection mid-stream.
+	if !b.server.DropConn(proxyID) {
+		t.Fatal("no connection to drop")
+	}
+
+	// While the node is unreachable, the controller pushes a new plan:
+	// the wire attempt fails, but the plan is recorded as latest.
+	err := b.server.Push(proxyID, mgmt.ConfigToDTO(0, b.nodes[proxyID].Config()), 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("push to a dropped connection should fail") // reconnect can't be that fast: backoff min is 10ms and this races a fresh Push
+	}
+	latestEpoch := b.server.Epoch()
+	if latestEpoch <= epoch0 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch0, latestEpoch)
+	}
+
+	// The agent heals itself: re-dials, re-HELLOs with its stale epoch,
+	// and the server re-pushes the latest plan.
+	if !live.WaitUntil(5*time.Second, func() bool {
+		return b.server.AckedEpoch(proxyID) == latestEpoch
+	}) {
+		t.Fatalf("latest epoch never acked: acked=%d want=%d connected=%v",
+			b.server.AckedEpoch(proxyID), latestEpoch, b.server.Connected())
+	}
+	st := agent.Stats()
+	if st.Reconnects < 1 {
+		t.Errorf("agent never reconnected: %+v", st)
+	}
+	if agent.LastEpoch() != latestEpoch {
+		t.Errorf("agent epoch = %d, want %d", agent.LastEpoch(), latestEpoch)
+	}
+	// Exactly once: one apply for the initial config, one for the
+	// re-pushed latest plan — no duplicate application of either epoch.
+	if got := st.Applies - applies0; got != 1 {
+		t.Errorf("latest-epoch config applied %d times, want exactly 1 (%+v)", got, st)
+	}
+	if !b.server.Converged(proxyID) {
+		t.Error("server does not consider the node converged")
+	}
+
+	// Measurement reports resume on the new connection.
+	before := b.measTotal()
+	ft := netaddr.FiveTuple{
+		Src: topo.HostAddr(1, 9), Dst: topo.HostAddr(2, 1),
+		SrcPort: 49100, DstPort: 80, Proto: netaddr.ProtoTCP,
+	}
+	for i := 0; i < 5; i++ {
+		if err := b.rt.Inject(b.dep.AddrOf(proxyID), packet.New(ft, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !live.WaitUntil(5*time.Second, func() bool { return b.measTotal() >= before+5 }) {
+		t.Fatalf("measurement reports did not resume after reconnect (total %d, want >= %d)",
+			b.measTotal(), before+5)
+	}
+}
+
+// TestReconnectNoRepushWhenCurrent: an agent that reconnects already
+// holding the latest epoch gets nothing re-pushed — idempotence, not
+// periodic flooding.
+func TestReconnectNoRepushWhenCurrent(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	b.pushAll(t)
+	node := b.dep.MBNodes[0]
+	agent := b.agents[node]
+	applies0 := agent.Stats().Applies
+
+	if !b.server.DropConn(node) {
+		t.Fatal("no connection to drop")
+	}
+	if !live.WaitUntil(5*time.Second, func() bool { return agent.Stats().Reconnects >= 1 }) {
+		t.Fatal("agent never reconnected")
+	}
+	if !b.server.WaitConnected(3*time.Second, node) {
+		t.Fatal("reconnect did not register")
+	}
+	// Give a would-be re-push time to land, then assert none did.
+	time.Sleep(100 * time.Millisecond)
+	st := agent.Stats()
+	if st.Applies != applies0 || st.StaleConfigs != 0 {
+		t.Errorf("up-to-date agent got a re-push: %+v (applies0=%d)", st, applies0)
+	}
+}
+
+// TestChaosPushRetryHealsAckLoss injects ack loss with the fault conn:
+// the first attempt's config is applied but its ack vanishes; the retry
+// of the same epoch is acked idempotently without a second apply.
+func TestChaosPushRetryHealsAckLoss(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	node := b.dep.MBNodes[0]
+	// Replace the node's agent with one dialing through a fault tap.
+	b.agents[node].Close()
+	tap := &faultinject.ConnTap{}
+	agent, err := mgmt.NewAgentWith(b.devices[node], b.server.Addr(), mgmt.AgentOptions{
+		Dial: tap.Dial(func() (net.Conn, error) { return net.Dial("tcp", b.server.Addr()) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.agents[node] = agent
+	if !b.server.WaitConnected(3*time.Second, node) {
+		t.Fatal("fault-tapped agent did not connect")
+	}
+
+	tap.DropFrames(1) // the next frame the agent writes (the ack) vanishes
+	start := time.Now()
+	err = b.server.PushRetry(node, mgmt.ConfigToDTO(0, b.nodes[node].Config()), mgmt.RetryPolicy{
+		Attempts: 3, PerAttempt: 300 * time.Millisecond, Backoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("push never survived ack loss: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 300*time.Millisecond {
+		t.Errorf("first attempt cannot have timed out in %v; was the ack really dropped?", elapsed)
+	}
+	st := agent.Stats()
+	if st.Applies != 1 {
+		t.Errorf("config applied %d times across retries, want exactly 1", st.Applies)
+	}
+	if st.StaleConfigs < 1 {
+		t.Errorf("retry was not acked idempotently: %+v", st)
+	}
+	if dropped, _ := currentConnStats(tap); dropped < 1 {
+		t.Errorf("fault conn dropped %d frames, want >= 1", dropped)
+	}
+}
+
+// TestChaosPushFailsFastOnConnDeath: a push waiting on an ack must fail
+// the moment the connection dies, not after the full timeout.
+func TestChaosPushFailsFastOnConnDeath(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	node := b.dep.MBNodes[0]
+	b.agents[node].Close()
+	tap := &faultinject.ConnTap{}
+	agent, err := mgmt.NewAgentWith(b.devices[node], b.server.Addr(), mgmt.AgentOptions{
+		Dial: tap.Dial(func() (net.Conn, error) { return net.Dial("tcp", b.server.Addr()) }),
+		// Slow reconnects so the fail-fast window is unambiguous.
+		BackoffMin: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.agents[node] = agent
+	if !b.server.WaitConnected(3*time.Second, node) {
+		t.Fatal("agent did not connect")
+	}
+
+	tap.DropFrames(8) // swallow acks: the push would wait its full budget
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- b.server.Push(node, mgmt.ConfigToDTO(0, b.nodes[node].Config()), 30*time.Second)
+	}()
+	time.Sleep(150 * time.Millisecond) // let the config land and its ack be eaten
+	tap.DropConn()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("push succeeded with its ack dropped and conn dead")
+		}
+		if !errors.Is(err, mgmt.ErrConnClosed) {
+			t.Errorf("err = %v, want ErrConnClosed", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("push took %v to notice the dead conn (timeout was 30s)", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("push waited out its timeout instead of failing fast")
+	}
+}
+
+// TestPushWhileDisconnectedConvergesOnReconnect: pushing to a node with
+// no connection fails with ErrNotConnected (without consuming wire
+// state), yet the plan still reaches the node when its agent appears.
+func TestPushWhileDisconnectedConvergesOnReconnect(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	b.server.SetRepushPolicy(mgmt.RetryPolicy{Attempts: 5, PerAttempt: time.Second, Backoff: 20 * time.Millisecond})
+	node := b.dep.MBNodes[0]
+	b.agents[node].Close()
+	if !live.WaitUntil(3*time.Second, func() bool {
+		for _, id := range b.server.Connected() {
+			if id == node {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("closed agent still registered")
+	}
+
+	err := b.server.Push(node, mgmt.ConfigToDTO(0, b.nodes[node].Config()), time.Second)
+	if !errors.Is(err, mgmt.ErrNotConnected) {
+		t.Fatalf("err = %v, want ErrNotConnected", err)
+	}
+	latest := b.server.Epoch()
+
+	agent, err := mgmt.NewAgent(b.devices[node], b.server.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.agents[node] = agent
+	if !live.WaitUntil(5*time.Second, func() bool { return b.server.AckedEpoch(node) == latest }) {
+		t.Fatalf("stored plan never delivered on reconnect (acked %d, want %d)",
+			b.server.AckedEpoch(node), latest)
+	}
+}
+
+func (b *mgmtBed) measTotal() int64 {
+	b.measMu.Lock()
+	defer b.measMu.Unlock()
+	var total int64
+	for _, v := range b.meas {
+		total += v
+	}
+	return total
+}
+
+func currentConnStats(tap *faultinject.ConnTap) (dropped, delayed int64) {
+	// The tap tracks the live conn; stats accessor lives on the Conn.
+	return tap.CurrentStats()
+}

@@ -2,6 +2,7 @@ package mgmt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,28 +11,96 @@ import (
 	"sdme/internal/topo"
 )
 
+// Transport-level push failures. All are retryable (the condition can
+// heal: an agent reconnects, a wedged device recovers); a *RefusedError
+// is not — the agent deterministically rejected the configuration.
+var (
+	// ErrNotConnected: the node has no live agent connection right now.
+	ErrNotConnected = errors.New("no agent connection")
+	// ErrConnClosed: the connection died while the push was in flight.
+	ErrConnClosed = errors.New("connection closed")
+	// ErrAckTimeout: the agent did not ack within the per-attempt budget.
+	ErrAckTimeout = errors.New("ack timeout")
+	// ErrServerClosed: the server is shutting down.
+	ErrServerClosed = errors.New("server closed")
+)
+
+// RefusedError is an agent's deterministic rejection of a configuration;
+// retrying the same plan cannot succeed.
+type RefusedError struct {
+	Node   topo.NodeID
+	Reason string
+}
+
+func (e *RefusedError) Error() string {
+	return fmt.Sprintf("mgmt: node %v refused config: %s", e.Node, e.Reason)
+}
+
+// RetryPolicy bounds a push: Attempts tries total, each waiting
+// PerAttempt for the ack, sleeping Backoff<<(k-1) before retry k.
+// The zero value means one attempt with a 2s ack budget.
+type RetryPolicy struct {
+	Attempts   int
+	PerAttempt time.Duration
+	Backoff    time.Duration
+}
+
+func (p RetryPolicy) fill() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.PerAttempt <= 0 {
+		p.PerAttempt = 2 * time.Second
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 25 * time.Millisecond
+	}
+	return p
+}
+
+// DefaultRepushPolicy governs the automatic catch-up push to a
+// reconnecting agent that reports a stale epoch.
+var DefaultRepushPolicy = RetryPolicy{Attempts: 3, PerAttempt: 2 * time.Second, Backoff: 50 * time.Millisecond}
+
 // Server is the controller-side endpoint of the management channel. It
 // accepts agent connections, tracks which node each serves, pushes
 // configuration, and surfaces measurement reports.
+//
+// Dependability machinery: every push stamps a monotonic epoch and is
+// recorded as the node's latest intended plan — even when the node is
+// currently disconnected. When an agent (re)connects and its HELLO
+// reports an older epoch, the server re-pushes the latest plan
+// automatically, so a node that missed reconfigurations while down
+// converges without operator involvement. Acks carry the epoch back;
+// Converged answers whether every node runs the latest plan.
 type Server struct {
 	l net.Listener
 
 	mu      sync.Mutex
 	conns   map[topo.NodeID]*serverConn
 	nextSeq uint64
+	epoch   uint64
+	latest  map[topo.NodeID]ConfigDTO
+	acked   map[topo.NodeID]uint64
 	onMeas  func(topo.NodeID, []MeasureRow)
 	closed  bool
+	repush  RetryPolicy
 
-	wg sync.WaitGroup
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
 type serverConn struct {
 	node topo.NodeID
 	conn net.Conn
+	// closed is closed when the read loop exits, so pushes waiting on an
+	// ack fail the moment the connection dies instead of burning their
+	// full timeout.
+	closed chan struct{}
 
 	writeMu sync.Mutex
 	ackMu   sync.Mutex
-	pending map[uint64]chan string // seq -> error string ("" = ok)
+	pending map[uint64]chan Ack // seq -> ack
 }
 
 // NewServer starts a management server listening on addr ("127.0.0.1:0"
@@ -44,7 +113,11 @@ func NewServer(addr string, onMeasure func(topo.NodeID, []MeasureRow)) (*Server,
 	s := &Server{
 		l:      l,
 		conns:  make(map[topo.NodeID]*serverConn),
+		latest: make(map[topo.NodeID]ConfigDTO),
+		acked:  make(map[topo.NodeID]uint64),
 		onMeas: onMeasure,
+		repush: DefaultRepushPolicy,
+		stop:   make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -54,15 +127,29 @@ func NewServer(addr string, onMeasure func(topo.NodeID, []MeasureRow)) (*Server,
 // Addr returns the server's listen address for agents to dial.
 func (s *Server) Addr() string { return s.l.Addr().String() }
 
+// SetRepushPolicy overrides the reconnect catch-up policy (tests and
+// experiments shorten it).
+func (s *Server) SetRepushPolicy(p RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.repush = p.fill()
+}
+
 // Close shuts the server and all connections down.
 func (s *Server) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
 	s.closed = true
 	conns := make([]*serverConn, 0, len(s.conns))
 	for _, c := range s.conns {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	close(s.stop)
 	_ = s.l.Close()
 	for _, c := range conns {
 		_ = c.conn.Close()
@@ -105,19 +192,133 @@ func (s *Server) WaitConnected(timeout time.Duration, nodes ...topo.NodeID) bool
 	return false
 }
 
-// Push sends a configuration to a node's agent and waits for its ack.
-// The DTO's Seq is assigned here.
-func (s *Server) Push(node topo.NodeID, dto ConfigDTO, timeout time.Duration) error {
+// DropConn severs a node's management connection mid-stream (the
+// fault-injection hook for the control channel); it reports whether a
+// connection existed. A self-healing agent will reconnect on its own.
+func (s *Server) DropConn(node topo.NodeID) bool {
 	s.mu.Lock()
 	c := s.conns[node]
+	s.mu.Unlock()
+	if c == nil {
+		return false
+	}
+	_ = c.conn.Close()
+	return true
+}
+
+// Epoch returns the latest epoch the server has assigned.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// AckedEpoch returns the highest epoch a node has acknowledged.
+func (s *Server) AckedEpoch(node topo.NodeID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked[node]
+}
+
+// Converged reports whether every given node has acked the latest plan
+// recorded for it (nodes never pushed to are trivially converged).
+func (s *Server) Converged(nodes ...topo.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range nodes {
+		latest, ok := s.latest[id]
+		if !ok {
+			continue
+		}
+		if s.acked[id] < latest.Epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// Push sends a configuration to a node's agent and waits for its ack —
+// a single attempt; see PushRetry for the self-healing form. The plan is
+// recorded as the node's latest either way, so a failed push still
+// reaches the node when its agent reconnects.
+func (s *Server) Push(node topo.NodeID, dto ConfigDTO, timeout time.Duration) error {
+	return s.PushRetry(node, dto, RetryPolicy{Attempts: 1, PerAttempt: timeout})
+}
+
+// PushRetry sends a configuration with bounded retries. The epoch is
+// assigned once (if the DTO carries none) and survives retries; each
+// attempt gets a fresh sequence number and its own timeout, and fails
+// fast if the connection dies under it. Transport errors are retried;
+// an agent's refusal returns immediately as a *RefusedError.
+func (s *Server) PushRetry(node topo.NodeID, dto ConfigDTO, pol RetryPolicy) error {
+	pol = pol.fill()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("mgmt: push to %v: %w", node, ErrServerClosed)
+	}
+	if dto.Epoch == 0 {
+		s.epoch++
+		dto.Epoch = s.epoch
+	} else if dto.Epoch > s.epoch {
+		s.epoch = dto.Epoch
+	}
+	s.storeLatestLocked(node, dto)
+	s.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(pol.Backoff << (attempt - 1)):
+			case <-s.stop:
+				return fmt.Errorf("mgmt: push to %v: %w", node, ErrServerClosed)
+			}
+		}
+		lastErr = s.pushOnce(node, dto, pol.PerAttempt)
+		if lastErr == nil {
+			return nil
+		}
+		var refused *RefusedError
+		if errors.As(lastErr, &refused) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// storeLatestLocked records dto as the node's latest intended plan. A
+// weights-only push merges into the stored full config (re-pushing it
+// later must carry the current weights, not the stale ones).
+func (s *Server) storeLatestLocked(node topo.NodeID, dto ConfigDTO) {
+	dto.Seq = 0
+	if dto.WeightsOnly {
+		if full, ok := s.latest[node]; ok && !full.WeightsOnly {
+			full.Weights = dto.Weights
+			full.Epoch = dto.Epoch
+			s.latest[node] = full
+			return
+		}
+	}
+	s.latest[node] = dto
+}
+
+// pushOnce is one wire attempt: assign a seq, send, wait for the ack,
+// the connection's death, or the timeout — whichever first.
+func (s *Server) pushOnce(node topo.NodeID, dto ConfigDTO, timeout time.Duration) error {
+	s.mu.Lock()
+	c := s.conns[node]
+	if c == nil {
+		// No connection: return before consuming a sequence number or
+		// registering pending state.
+		s.mu.Unlock()
+		return fmt.Errorf("mgmt: push to %v: %w", node, ErrNotConnected)
+	}
 	s.nextSeq++
 	dto.Seq = s.nextSeq
 	s.mu.Unlock()
-	if c == nil {
-		return fmt.Errorf("mgmt: node %v has no agent connection", node)
-	}
 
-	ackCh := make(chan string, 1)
+	ackCh := make(chan Ack, 1)
 	c.ackMu.Lock()
 	c.pending[dto.Seq] = ackCh
 	c.ackMu.Unlock()
@@ -131,16 +332,33 @@ func (s *Server) Push(node topo.NodeID, dto ConfigDTO, timeout time.Duration) er
 	err := writeMsg(c.conn, TypeConfig, dto)
 	c.writeMu.Unlock()
 	if err != nil {
-		return fmt.Errorf("mgmt: push to %v: %w", node, err)
+		return fmt.Errorf("mgmt: push to %v: %w (%v)", node, ErrConnClosed, err)
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
-	case e := <-ackCh:
-		if e != "" {
-			return fmt.Errorf("mgmt: node %v refused config: %s", node, e)
+	case ack := <-ackCh:
+		if ack.Error != "" {
+			return &RefusedError{Node: node, Reason: ack.Error}
 		}
+		s.recordAck(node, dto.Epoch)
 		return nil
-	case <-time.After(timeout):
-		return fmt.Errorf("mgmt: node %v ack timeout", node)
+	case <-c.closed:
+		return fmt.Errorf("mgmt: push to %v: %w", node, ErrConnClosed)
+	case <-timer.C:
+		return fmt.Errorf("mgmt: push to %v: %w", node, ErrAckTimeout)
+	case <-s.stop:
+		return fmt.Errorf("mgmt: push to %v: %w", node, ErrServerClosed)
+	}
+}
+
+// recordAck advances a node's acked-epoch high-water mark; stale acks
+// (an older epoch landing late) never regress it.
+func (s *Server) recordAck(node topo.NodeID, epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch > s.acked[node] {
+		s.acked[node] = epoch
 	}
 }
 
@@ -171,7 +389,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	c := &serverConn{
 		node:    topo.NodeID(hello.NodeID),
 		conn:    conn,
-		pending: make(map[uint64]chan string),
+		closed:  make(chan struct{}),
+		pending: make(map[uint64]chan Ack),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -180,6 +399,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	s.conns[c.node] = c
+	latest, haveLatest := s.latest[c.node]
+	repush := s.repush
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -187,8 +408,32 @@ func (s *Server) serveConn(conn net.Conn) {
 			delete(s.conns, c.node)
 		}
 		s.mu.Unlock()
+		close(c.closed)
 		_ = conn.Close()
 	}()
+
+	// Confirm the registration before serving: the agent completes its
+	// handshake only on this ack, so once a caller observes the agent as
+	// connected, pushes are guaranteed to route to this connection and
+	// not to a predecessor that is still draining its EOF.
+	c.writeMu.Lock()
+	ackErr := writeMsg(conn, TypeHelloAck, Ack{})
+	c.writeMu.Unlock()
+	if ackErr != nil {
+		return
+	}
+
+	// Reconnect catch-up: if the agent's last applied epoch is behind the
+	// latest plan recorded for it, re-push that plan (same epoch, fresh
+	// seq). An agent already at the latest epoch gets nothing — the push
+	// is idempotent, not periodic.
+	if haveLatest && latest.Epoch > hello.Epoch {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.PushRetry(c.node, latest, repush)
+		}()
+	}
 
 	for {
 		env, err := readMsg(conn)
@@ -205,7 +450,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			ch := c.pending[ack.Seq]
 			c.ackMu.Unlock()
 			if ch != nil {
-				ch <- ack.Error
+				select {
+				case ch <- ack:
+				default: // duplicate ack for a seq already answered
+				}
+			}
+			// Acks for unknown seqs are stale (a prior attempt timed out
+			// or its pusher gave up) and are dropped here; the epoch
+			// record still advances so convergence tracking survives an
+			// ack that outlives its waiter.
+			if ch == nil && ack.Error == "" && ack.Epoch != 0 {
+				s.recordAck(c.node, ack.Epoch)
 			}
 		case TypeMeasure:
 			var m Measure

@@ -34,17 +34,27 @@ type Envelope struct {
 
 // Message type tags.
 const (
-	TypeHello   = "hello"
-	TypeConfig  = "config"
-	TypeAck     = "ack"
-	TypeMeasure = "measure"
+	TypeHello = "hello"
+	// TypeHelloAck confirms a HELLO: the server has registered this
+	// connection as the node's current one. Agents block their handshake
+	// on it, so "agent connected" implies "pushes route here" — without
+	// it, a push racing a reconnect can land on the dying predecessor
+	// connection.
+	TypeHelloAck = "hello-ack"
+	TypeConfig   = "config"
+	TypeAck      = "ack"
+	TypeMeasure  = "measure"
 )
 
-// Hello announces an agent to the server.
+// Hello announces an agent to the server. Epoch is the last
+// configuration epoch the agent successfully applied (0 = never
+// configured); a reconnecting agent reports it so the server can
+// idempotently re-push the latest plan only when the agent is behind.
 type Hello struct {
 	NodeID int    `json:"node_id"`
 	Name   string `json:"name"`
 	Proxy  bool   `json:"proxy"`
+	Epoch  uint64 `json:"epoch,omitempty"`
 }
 
 // PolicyDTO is a lossless wire form of one policy.
@@ -78,9 +88,14 @@ type WeightDTO struct {
 	Weights   []float64 `json:"w"`
 }
 
-// ConfigDTO is a full node configuration push.
+// ConfigDTO is a full node configuration push. Seq identifies one wire
+// attempt (assigned per send); Epoch identifies the logical plan
+// generation (assigned once per Push, monotonic across the server's
+// lifetime) — a re-pushed plan keeps its epoch under a fresh seq, and
+// agents apply each epoch at most once.
 type ConfigDTO struct {
 	Seq            uint64         `json:"seq"`
+	Epoch          uint64         `json:"epoch,omitempty"`
 	Strategy       int            `json:"strategy"`
 	HashSeed       uint64         `json:"hash_seed"`
 	LabelSwitching bool           `json:"label_switching"`
@@ -95,9 +110,12 @@ type ConfigDTO struct {
 	WeightsOnly bool `json:"weights_only,omitempty"`
 }
 
-// Ack confirms (or refuses) a config push.
+// Ack confirms (or refuses) a config push. Epoch echoes the config's
+// epoch so the server's convergence record never regresses on a stale
+// ack arriving late.
 type Ack struct {
 	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch,omitempty"`
 	Error string `json:"error,omitempty"`
 }
 

@@ -26,6 +26,11 @@ type Stats struct {
 	// Misdelivered counts data packets that landed on a device that
 	// could not handle them.
 	Misdelivered int64
+	// DroppedDown counts packets that arrived at (or were injected
+	// through) a device marked down via SetNodeDown — the blackhole a
+	// crashed middlebox or proxy creates until the controller repairs the
+	// plan. Recovery experiments read outage cost off this counter.
+	DroppedDown int64
 	// PacketHops counts router-to-router transmissions (fragment copies
 	// included) — a network-wide work measure.
 	PacketHops int64
@@ -97,6 +102,9 @@ type Network struct {
 	busyUntil   map[topo.NodeID]int64
 	// born timestamps injected packets for end-to-end latency.
 	born map[*packet.Packet]int64
+	// down marks crashed devices: packets addressed to them blackhole
+	// (DroppedDown) until the node is marked up again.
+	down map[topo.NodeID]bool
 }
 
 // New assembles a simulation over a converged OSPF domain. The nodes map
@@ -112,6 +120,7 @@ func New(g *topo.Graph, dom *ospf.Domain, dep *enforce.Deployment, nodes map[top
 		serviceRate: make(map[topo.NodeID]float64),
 		busyUntil:   make(map[topo.NodeID]int64),
 		born:        make(map[*packet.Packet]int64),
+		down:        make(map[topo.NodeID]bool),
 	}
 	nw.fwd = &simForwarder{nw: nw}
 	return nw
@@ -132,6 +141,22 @@ func (nw *Network) SetServiceRate(id topo.NodeID, pktsPerSec float64) {
 	}
 	nw.serviceRate[id] = pktsPerSec
 }
+
+// SetNodeDown marks a device crashed (or recovered). A down device
+// blackholes every packet addressed to it — the network keeps routing
+// toward it, exactly as a traditional network would, because routing
+// never knew about the middlebox in the first place (§II). Fault
+// schedules drive this from faultinject events.
+func (nw *Network) SetNodeDown(id topo.NodeID, down bool) {
+	if down {
+		nw.down[id] = true
+		return
+	}
+	delete(nw.down, id)
+}
+
+// NodeDown reports whether a device is currently marked down.
+func (nw *Network) NodeDown(id topo.NodeID) bool { return nw.down[id] }
 
 // transit is one packet (or its fragment train) moving through routers.
 type transit struct {
@@ -168,6 +193,12 @@ func (nw *Network) InjectFlow(ft netaddr.FiveTuple, packets, bytes int, start, g
 		at := start + int64(i)*gap + loopDelay
 		nw.Engine.After(at-nw.Engine.Now(), func() {
 			nw.stats.PacketsInjected++
+			if nw.down[proxyID] {
+				// The subnet's proxy is dead: outbound traffic blackholes
+				// at the first hop until it recovers.
+				nw.stats.DroppedDown++
+				return
+			}
 			if loopDelay > 0 {
 				nw.stats.ProxyLoopbacks++
 			}
@@ -322,6 +353,10 @@ func (nw *Network) reassembleAtEdge(tr *transit) {
 // deliverData hands a data packet to the device that owns its outermost
 // destination address.
 func (nw *Network) deliverData(dev topo.NodeID, pkt *packet.Packet, now int64) {
+	if nw.down[dev] {
+		nw.stats.DroppedDown++
+		return
+	}
 	kind := nw.g.Node(dev).Kind
 	switch kind {
 	case topo.KindMiddlebox:
