@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify-examples chaos check
+.PHONY: all build test race vet fmt verify-examples chaos fuzz cover check
 
 all: build
 
@@ -36,6 +36,21 @@ chaos:
 	$(GO) test -race -count=2 ./internal/faultinject/
 	$(GO) test -race -count=2 -run 'Chaos|Recovery|Reconnect|Wedge' \
 		./internal/mgmt/ ./internal/live/ ./internal/experiments/
+
+# Fuzz smoke: every native fuzz target gets a short budget. The go tool
+# accepts exactly one -fuzz target per invocation, hence one line each.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/packet/ -run '^FuzzUnmarshal$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/packet/ -run '^FuzzFragmentReassemble$$' -fuzz '^FuzzFragmentReassemble$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mgmt/ -run '^FuzzWire$$' -fuzz '^FuzzWire$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mgmt/ -run '^FuzzConfigDTO$$' -fuzz '^FuzzConfigDTO$$' -fuzztime $(FUZZTIME)
+
+# Coverage profile across all packages, with the per-function summary's
+# total line printed at the end.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Statically verify the controller plan (candidate sets, loop freedom,
 # hot-potato optimality, LB weights) on both example topologies.

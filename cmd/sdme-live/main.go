@@ -14,12 +14,21 @@
 // Usage:
 //
 //	sdme-live [-seed 20] [-packets 10] [-labels=true]
+//	          [-metrics-addr 127.0.0.1:9090] [-hold 30s]
+//
+// With -metrics-addr the process serves the unified observability
+// surface over HTTP: Prometheus text exposition on /metrics (dataplane,
+// fabric, management-channel and controller families) and the standard
+// net/http/pprof endpoints under /debug/pprof/. -hold keeps the process
+// alive after the demo so the endpoints can be scraped interactively.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -27,6 +36,7 @@ import (
 	"sdme/internal/controller"
 	"sdme/internal/enforce"
 	"sdme/internal/live"
+	"sdme/internal/metrics"
 	"sdme/internal/mgmt"
 	"sdme/internal/netaddr"
 	"sdme/internal/packet"
@@ -46,6 +56,9 @@ func run() error {
 	seed := flag.Int64("seed", 20, "deterministic seed")
 	packets := flag.Int("packets", 10, "packets to send on the demo flow")
 	labels := flag.Bool("labels", true, "enable §III-E label switching")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty: disabled)")
+	traceOneIn := flag.Uint64("trace-one-in", 1, "runtime packet tracing sample rate (1 = every flow, 0 = off)")
+	hold := flag.Duration("hold", 0, "keep serving the metrics endpoint this long after the demo")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -94,6 +107,25 @@ func run() error {
 	// Dataplane devices + their management agents.
 	rt := live.NewRuntime()
 	defer rt.Close()
+
+	// Observability: one registry on the runtime's wall clock, shared by
+	// the fabric, the dataplane nodes, the management channel and the
+	// controller; plus a runtime packet tracer sampling the demo flows.
+	reg := rt.NewRegistry()
+	rt.AttachMetrics(reg)
+	server.SetMetrics(reg)
+	ctl.SetMetrics(reg, rt.NowUS)
+	tracer := enforce.NewRuntimeTracer(0, *traceOneIn, uint64(*seed))
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		go func() { _ = http.Serve(ln, metrics.ServeMux(reg)) }()
+		fmt.Printf("observability on http://%s/metrics and /debug/pprof/\n\n", ln.Addr())
+	}
+
 	devices := make(map[topo.NodeID]*live.Device)
 	var agents []*mgmt.Agent
 	defer func() {
@@ -103,12 +135,19 @@ func run() error {
 	}()
 	var ids []topo.NodeID
 	for id, n := range nodes {
+		// Attach before AddDevice: the device goroutine owns the node
+		// from then on.
+		n.SetMetrics(reg)
+		n.SetTracer(tracer)
 		dev, err := rt.AddDevice(n)
 		if err != nil {
 			return err
 		}
 		devices[id] = dev
-		agent, err := mgmt.NewAgent(dev, server.Addr(), 50*time.Millisecond)
+		agent, err := mgmt.NewAgentWith(dev, server.Addr(), mgmt.AgentOptions{
+			ReportEvery: 50 * time.Millisecond,
+			Metrics:     reg,
+		})
 		if err != nil {
 			return err
 		}
@@ -143,6 +182,10 @@ func run() error {
 		Src: topo.HostAddr(1, 1), Dst: topo.HostAddr(2, 1),
 		SrcPort: 40000, DstPort: 80, Proto: netaddr.ProtoTCP,
 	}
+	// Static plan under the configuration the packets will actually run
+	// under (the later LB re-solve changes the weights, so tracing after
+	// it would compare against a different plan).
+	planned, plannedErr := enforce.TraceFlow(nodes, dep, ap, flow)
 	fmt.Printf("\nsending %d packets on flow %v\n", *packets, flow)
 
 	if err := rt.Inject(proxyAddr, packet.New(flow, 64)); err != nil {
@@ -213,7 +256,59 @@ func run() error {
 	}
 	fmt.Printf("\nmanagement channel: epoch %d, converged %v, %d reconnects, %d configs applied\n",
 		server.Epoch(), server.Converged(ids...), reconnects, applies)
+
+	// Runtime trace vs static plan: the observability layer's core claim
+	// is that the sampled per-packet hop records reproduce the verified
+	// plan exactly.
+	rtr := tracer.RuntimeTrace(flow)
+	if len(rtr.Hops) > 0 && plannedErr == nil {
+		fmt.Printf("\nruntime trace of %v (%d hop records sampled):\n", flow, tracer.Total())
+		for _, h := range rtr.Hops[:min(len(rtr.Hops), len(planned.Hops))] {
+			fmt.Printf("  %-12s ran %v\n", g.Node(h.Node).Name, h.Func)
+		}
+		// Every packet of the flow must walk the planned chain. Packets
+		// pipeline, so hop records of different packets interleave; the
+		// invariant that survives interleaving is per-(node, func) counts:
+		// each planned hop seen exactly once per packet, nothing else.
+		type hopKey struct {
+			node topo.NodeID
+			f    policy.FuncType
+		}
+		got := make(map[hopKey]int)
+		for _, h := range rtr.Hops {
+			got[hopKey{h.Node, h.Func}]++
+		}
+		n := len(rtr.Hops) / max(len(planned.Hops), 1)
+		conforms := len(planned.Hops) > 0 && len(rtr.Hops) == n*len(planned.Hops)
+		for _, p := range planned.Hops {
+			if got[hopKey{p.Node, p.Func}] != n {
+				conforms = false
+			}
+			delete(got, hopKey{p.Node, p.Func})
+		}
+		conforms = conforms && len(got) == 0
+		fmt.Printf("matches static plan across %d packets: %v\n", n, conforms)
+	}
+
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Printf("\nholding %v for metric scrapes...\n", *hold)
+		time.Sleep(*hold)
+	}
 	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func sum(m controller.Measurements) int64 {

@@ -5,12 +5,16 @@
 //
 //	sdme-sim [-topology campus|waxman] [-strategy hp|rand|lb]
 //	         [-traffic 1000000] [-policies 10] [-seed 20] [-labels]
-//	         [-packet-level]
+//	         [-packet-level] [-metrics out.prom]
 //
 // The default mode uses the fast flow-level evaluator (valid because the
 // dataplane pins each flow to one middlebox chain). -packet-level runs
 // the discrete-event simulator instead, on a proportionally reduced
-// traffic volume, and also reports network-level statistics.
+// traffic volume, and also reports network-level statistics. With
+// -metrics the packet-level run attaches the unified metrics registry
+// (virtual-time clock) and writes the final Prometheus text exposition
+// to the given file ("-" for stdout) — the same family names sdme-live
+// serves over HTTP.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"sdme/internal/controller"
 	"sdme/internal/enforce"
 	"sdme/internal/experiments"
+	"sdme/internal/metrics"
 	"sdme/internal/netaddr"
 	"sdme/internal/ospf"
 	"sdme/internal/sim"
@@ -59,6 +64,7 @@ func run() error {
 	labels := flag.Bool("labels", false, "enable §III-E label switching (packet-level mode)")
 	packetLevel := flag.Bool("packet-level", false, "run the discrete-event simulator")
 	traceSpec := flag.String("trace", "", "trace one flow: srcSubnet:dstSubnet:dstPort (e.g. 1:2:80)")
+	metricsOut := flag.String("metrics", "", "packet-level mode: write the final metrics exposition to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	strategy, err := parseStrategy(*stratName)
@@ -76,7 +82,10 @@ func run() error {
 		*topoName, stats.Nodes, stats.Links, stats.Middleboxes, stats.Proxies)
 
 	if *packetLevel {
-		return runPacketLevel(bed, strategy, *traffic, *labels, *seed)
+		return runPacketLevel(bed, strategy, *traffic, *labels, *seed, *metricsOut)
+	}
+	if *metricsOut != "" {
+		return fmt.Errorf("-metrics requires -packet-level (the flow-level evaluator has no dataplane to observe)")
 	}
 
 	demands := bed.GenerateDemands(*traffic)
@@ -162,7 +171,7 @@ func printLoads(bed *experiments.Bed, report *enforce.LoadReport) {
 	}
 }
 
-func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int, labels bool, seed int64) error {
+func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int, labels bool, seed int64, metricsOut string) error {
 	// Packet-level simulation is detailed; cap the injected volume.
 	const maxPackets = 200000
 	if traffic > maxPackets {
@@ -177,6 +186,17 @@ func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int
 	if err != nil {
 		return err
 	}
+	dom := ospf.NewDomain(bed.Graph)
+	fstats := dom.Converge()
+	fmt.Printf("OSPF converged: %d flooding rounds, %d LSA messages\n", fstats.Rounds, fstats.Messages)
+
+	nw := sim.New(bed.Graph, dom, bed.Dep, nodes)
+	var reg *metrics.Registry
+	if metricsOut != "" {
+		reg = nw.NewRegistry()
+		nw.AttachMetrics(reg)
+		ctl.SetMetrics(reg, nw.Engine.Now)
+	}
 	if strategy == enforce.LoadBalanced {
 		demands := bed.GenerateDemands(traffic)
 		meas := controller.MeasurementsFromFlows(bed.Dep, bed.Table, demands)
@@ -186,11 +206,6 @@ func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int
 		}
 		controller.ApplyWeights(nodes, sol)
 	}
-	dom := ospf.NewDomain(bed.Graph)
-	fstats := dom.Converge()
-	fmt.Printf("OSPF converged: %d flooding rounds, %d LSA messages\n", fstats.Rounds, fstats.Messages)
-
-	nw := sim.New(bed.Graph, dom, bed.Dep, nodes)
 	demands := bed.GenerateDemands(traffic)
 	at := int64(0)
 	for _, d := range demands {
@@ -215,6 +230,17 @@ func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int
 	fmt.Println("\nmiddlebox loads:")
 	for _, id := range ids {
 		fmt.Printf("  %-8s %9d\n", bed.Graph.Node(id).Name, loads[id])
+	}
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if metricsOut == "-" {
+			fmt.Printf("\n%s", snap.Text)
+		} else if err := os.WriteFile(metricsOut, snap.Text, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Printf("\nmetrics exposition (virtual time %dus) written to %s\n", snap.AtUS, metricsOut)
+		}
 	}
 	return nil
 }

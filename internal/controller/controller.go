@@ -88,6 +88,12 @@ type Controller struct {
 	candidates map[topo.NodeID]map[policy.FuncType][]topo.NodeID
 	// failed marks middleboxes currently considered down.
 	failed map[topo.NodeID]bool
+
+	// Observability attachments (observe.go); nil unless SetMetrics was
+	// called. lastWeights is the previous solve's plan, for churn.
+	metrics     *metricsRegistry
+	clock       clockFunc
+	lastWeights weightPlan
 }
 
 // New creates a controller over a completed deployment (all middleboxes

@@ -158,6 +158,7 @@ func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
 	if c.candidates == nil {
 		c.computeAssignments()
 	}
+	startUS := c.solveStart()
 	sol, err := c.buildAndSolve(insts, c.opts.CapLambda, nil)
 	if err != nil {
 		return nil, err
@@ -186,6 +187,7 @@ func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
 	if err := c.verifyPlan(sol.Weights); err != nil {
 		return nil, err
 	}
+	c.observeSolve(sol, startUS)
 	return sol, nil
 }
 

@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"sdme/internal/enforce"
+	"sdme/internal/metrics"
+	"sdme/internal/topo"
+)
+
+// Controller metric family names.
+const (
+	MetricSolves     = "sdme_controller_solves_total"
+	MetricSolveUS    = "sdme_controller_solve_us"
+	MetricLambda     = "sdme_controller_lambda"
+	MetricLPVars     = "sdme_controller_lp_vars"
+	MetricLPIters    = "sdme_controller_lp_iterations"
+	MetricPlanChurn  = "sdme_controller_plan_churn_total"
+	MetricPlanSeries = "sdme_controller_weight_vectors"
+)
+
+// SetMetrics attaches a registry and clock to the controller: every LB
+// solve then records its duration (per the clock — virtual in sim-driven
+// tests, wall in live deployments), the resulting λ, the program size,
+// and the plan churn versus the previous solve. nil detaches.
+func (c *Controller) SetMetrics(reg *metrics.Registry, clock metrics.Clock) {
+	c.metrics = reg
+	c.clock = clock
+	c.lastWeights = nil
+}
+
+// observeSolve records one successful solve. startUS is the clock
+// reading captured at solve entry (0 if no clock).
+func (c *Controller) observeSolve(sol *LBSolution, startUS int64) {
+	reg := c.metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter(MetricSolves).Inc()
+	if c.clock != nil {
+		reg.Histogram(MetricSolveUS, metrics.LatencyBucketsUS).Observe(c.clock() - startUS)
+	}
+	reg.Gauge(MetricLambda).Set(sol.Lambda)
+	reg.Gauge(MetricLPVars).Set(float64(sol.Vars))
+	reg.Gauge(MetricLPIters).Set(float64(sol.Iterations))
+	reg.Gauge(MetricPlanSeries).Set(float64(countVectors(sol.Weights)))
+	reg.Counter(MetricPlanChurn).Add(planChurn(c.lastWeights, sol.Weights))
+	c.lastWeights = sol.Weights
+}
+
+// solveStart returns the clock reading to time a solve from.
+func (c *Controller) solveStart() int64 {
+	if c.metrics == nil || c.clock == nil {
+		return 0
+	}
+	return c.clock()
+}
+
+// Aliases keep controller.go's struct free of a direct metrics import.
+type (
+	metricsRegistry = metrics.Registry
+	clockFunc       = metrics.Clock
+	weightPlan      = map[topo.NodeID]map[enforce.WeightKey][]float64
+)
+
+func countVectors(w weightPlan) int {
+	n := 0
+	for _, m := range w {
+		n += len(m)
+	}
+	return n
+}
+
+// planChurn counts the weight vectors that differ between two plans:
+// added, removed, or changed in any component. Two consecutive solves on
+// the same measurement matrix churn zero.
+func planChurn(old, cur weightPlan) int64 {
+	var churn int64
+	for node, m := range cur {
+		om := old[node]
+		for k, w := range m {
+			ow, ok := om[k]
+			if !ok || !sameVector(ow, w) {
+				churn++
+			}
+		}
+	}
+	for node, om := range old {
+		m := cur[node]
+		for k := range om {
+			if _, ok := m[k]; !ok {
+				churn++
+			}
+		}
+	}
+	return churn
+}
+
+func sameVector(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -33,7 +33,11 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		return fmt.Errorf("enforce: HandleOutbound on middlebox %v", n.ID)
 	}
 	n.Counters.PacketsIn++
+	if n.nm != nil {
+		n.nm.packetsIn.Inc()
+	}
 	ft := pkt.FiveTuple()
+	n.trace(ft, HopIngress, 0, now)
 	entry := n.classify(ft, now)
 
 	// Measurement: every policy-matching packet is tallied for the
@@ -48,6 +52,7 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 
 	if entry.Null || entry.Actions.IsPermit() {
 		n.Counters.PlainTx++
+		n.trace(ft, HopForward, 0, now)
 		fwd.Send(n, pkt)
 		return nil
 	}
@@ -83,6 +88,7 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		return err
 	}
 	n.Counters.TunnelTx++
+	n.trace(ft, HopEncap, first, now)
 	fwd.Send(n, pkt)
 	return nil
 }
@@ -96,6 +102,9 @@ func (n *Node) HandleArrival(pkt *packet.Packet, now int64, fwd Forwarder) error
 		return fmt.Errorf("enforce: HandleArrival on proxy %v", n.ID)
 	}
 	n.Counters.PacketsIn++
+	if n.nm != nil {
+		n.nm.packetsIn.Inc()
+	}
 	if pkt.IsEncapsulated() {
 		return n.handleTunneled(pkt, now, fwd)
 	}
@@ -108,6 +117,7 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		return err
 	}
 	ft := pkt.FiveTuple()
+	n.trace(ft, HopDecap, 0, now)
 	entry := n.classify(ft, now)
 	if entry.Null {
 		// The proxy only tunnels policy traffic; a null here means our
@@ -137,7 +147,7 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		}
 	}
 
-	verdict := n.process(myFunc, pkt, now)
+	verdict := n.observedProcess(myFunc, ft, pkt, now)
 	switch verdict {
 	case nf.VerdictDrop:
 		n.Counters.Dropped++
@@ -156,6 +166,7 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		}
 		pkt.ClearLabel()
 		n.Counters.PlainTx++
+		n.trace(ft, HopForward, 0, now)
 		fwd.Send(n, pkt)
 		return nil
 	}
@@ -169,6 +180,7 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		return err
 	}
 	n.Counters.TunnelTx++
+	n.trace(ft, HopEncap, nextFunc, now)
 	fwd.Send(n, pkt)
 	return nil
 }
@@ -193,7 +205,7 @@ func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error
 		n.Counters.Misdirected++
 		return fmt.Errorf("enforce: middlebox %v got labeled chain %v it cannot serve", n.ID, entry.Actions)
 	}
-	verdict := n.process(myFunc, pkt, now)
+	verdict := n.observedProcess(myFunc, entry.Flow, pkt, now)
 	switch verdict {
 	case nf.VerdictDrop:
 		n.Counters.Dropped++
@@ -212,6 +224,7 @@ func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error
 		pkt.Inner.Dst = entry.Dst
 		pkt.ClearLabel()
 		n.Counters.PlainTx++
+		n.trace(entry.Flow, HopForward, 0, now)
 		fwd.Send(n, pkt)
 		return nil
 	}
@@ -236,6 +249,28 @@ func (n *Node) process(f policy.FuncType, pkt *packet.Packet, now int64) nf.Verd
 		return nf.VerdictPass
 	}
 	return fn.Process(pkt, now)
+}
+
+// observedProcess is process plus the observability layer: a HopProcess
+// trace record and the per-(node, func) packet/byte/drop/serve counters.
+// flow must be the ORIGINAL 5-tuple (handleLabeled resolves it from the
+// label table; the rewritten header must not leak into records).
+func (n *Node) observedProcess(f policy.FuncType, flow netaddr.FiveTuple, pkt *packet.Packet, now int64) nf.Verdict {
+	n.trace(flow, HopProcess, f, now)
+	verdict := n.process(f, pkt, now)
+	if n.nm != nil {
+		if fm := n.nm.perFunc[f]; fm != nil {
+			fm.packets.Inc()
+			fm.bytes.Add(int64(pkt.Size()))
+			switch verdict {
+			case nf.VerdictDrop:
+				fm.drops.Inc()
+			case nf.VerdictServe:
+				fm.serves.Inc()
+			}
+		}
+	}
+	return verdict
 }
 
 // HandleControl is the proxy-side receiver for §III-E control messages:

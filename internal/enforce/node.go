@@ -126,6 +126,11 @@ type Node struct {
 	labels     *flowtable.LabelTable
 	meas       map[MeasKey]int64
 
+	// nm / tracer are the optional observability attachments (observe.go);
+	// both are nil unless SetMetrics / SetTracer were called.
+	nm     *nodeMetrics
+	tracer *RuntimeTracer
+
 	// Counters is exported for inspection; treat as read-only outside
 	// the node's owner.
 	Counters Counters

@@ -1,0 +1,253 @@
+package enforce
+
+import (
+	"strconv"
+	"sync"
+
+	"sdme/internal/metrics"
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// Metric family names the dataplane emits. Sim and live runs share this
+// code, so both substrates expose identical names — the conformance
+// suite asserts that.
+const (
+	MetricPacketsIn  = "sdme_node_packets_in_total"
+	MetricFuncPkts   = "sdme_func_packets_total"
+	MetricFuncBytes  = "sdme_func_bytes_total"
+	MetricFuncDrops  = "sdme_func_drops_total"
+	MetricFuncServes = "sdme_func_serves_total"
+)
+
+// funcMetrics caches one (node, func) series triple so the hot path
+// avoids registry lookups.
+type funcMetrics struct {
+	packets, bytes, drops, serves *metrics.Counter
+}
+
+// nodeMetrics is a node's cached view into the registry.
+type nodeMetrics struct {
+	packetsIn *metrics.Counter
+	perFunc   map[policy.FuncType]*funcMetrics
+}
+
+// SetMetrics attaches a metrics registry to the node: the dataplane then
+// records per-node packets-in and per-(node, function) packets, bytes,
+// drops and cache serves. nil detaches. Call before the node's owner
+// (simulator event loop or live device goroutine) starts driving it.
+func (n *Node) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		n.nm = nil
+		return
+	}
+	node := strconv.Itoa(int(n.ID))
+	nm := &nodeMetrics{
+		packetsIn: reg.Counter(MetricPacketsIn, "node", node),
+		perFunc:   make(map[policy.FuncType]*funcMetrics, len(n.Funcs)),
+	}
+	for f := range n.Funcs {
+		nm.perFunc[f] = &funcMetrics{
+			packets: reg.Counter(MetricFuncPkts, "node", node, "func", f.String()),
+			bytes:   reg.Counter(MetricFuncBytes, "node", node, "func", f.String()),
+			drops:   reg.Counter(MetricFuncDrops, "node", node, "func", f.String()),
+			serves:  reg.Counter(MetricFuncServes, "node", node, "func", f.String()),
+		}
+	}
+	n.nm = nm
+}
+
+// HopEventKind classifies one runtime hop record.
+type HopEventKind uint8
+
+// Hop event kinds recorded by the dataplane and its drivers.
+const (
+	// HopIngress: a sampled flow's packet entered at its policy proxy.
+	HopIngress HopEventKind = iota + 1
+	// HopProcess: a middlebox ran one of the flow's chain functions —
+	// the event the differential conformance test compares against the
+	// static plan.
+	HopProcess
+	// HopEncap / HopDecap: IP-over-IP tunnel encapsulation events.
+	HopEncap
+	HopDecap
+	// HopQueue: the packet waited WaitUS for a busy middlebox.
+	HopQueue
+	// HopForward: the node forwarded the packet plain (chain complete or
+	// permit traffic).
+	HopForward
+)
+
+// String renders the event kind.
+func (k HopEventKind) String() string {
+	switch k {
+	case HopIngress:
+		return "ingress"
+	case HopProcess:
+		return "process"
+	case HopEncap:
+		return "encap"
+	case HopDecap:
+		return "decap"
+	case HopQueue:
+		return "queue"
+	case HopForward:
+		return "forward"
+	default:
+		return "hop(?)"
+	}
+}
+
+// HopRecord is one step of a sampled flow's actual journey — the runtime
+// counterpart of TraceHop.
+type HopRecord struct {
+	// Seq is the record's global sequence number (assigned at Record).
+	Seq uint64
+	// Flow is the flow's ORIGINAL 5-tuple (label-switched hops resolve
+	// it from the label table, so rewritten headers never leak in).
+	Flow netaddr.FiveTuple
+	Node topo.NodeID
+	// Func is the function executed (HopProcess only).
+	Func  policy.FuncType
+	Event HopEventKind
+	// AtUS is the dataplane clock when the event happened (virtual time
+	// in the simulator, microseconds since start in the live runtime).
+	AtUS int64
+	// WaitUS is the queueing delay (HopQueue only).
+	WaitUS int64
+}
+
+// RuntimeTracer is a sampling ring buffer of per-packet hop records. The
+// sampling decision is a pure function of the flow tuple, so every node
+// — across goroutines, across substrates — agrees on which flows are
+// traced without any coordination or packet marking. A full ring
+// overwrites the oldest records (tracing is observability, not
+// accounting).
+type RuntimeTracer struct {
+	oneIn uint64
+	seed  uint64
+
+	mu   sync.Mutex
+	ring []HopRecord
+	next uint64 // total records ever written
+}
+
+// NewRuntimeTracer creates a tracer holding up to capacity records
+// (default 8192), sampling one in oneIn flows (1 traces every flow, 0
+// disables tracing). seed perturbs which flows fall in the sample.
+func NewRuntimeTracer(capacity int, oneIn uint64, seed uint64) *RuntimeTracer {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	return &RuntimeTracer{
+		oneIn: oneIn,
+		seed:  seed,
+		ring:  make([]HopRecord, 0, capacity),
+	}
+}
+
+// Sampled reports whether the flow is in the trace sample.
+func (t *RuntimeTracer) Sampled(ft netaddr.FiveTuple) bool {
+	if t == nil || t.oneIn == 0 {
+		return false
+	}
+	if t.oneIn == 1 {
+		return true
+	}
+	return ft.Hash(t.seed^0x7261636b6f627365)%t.oneIn == 0
+}
+
+// Record appends one hop record, assigning its sequence number.
+func (t *RuntimeTracer) Record(rec HopRecord) {
+	t.mu.Lock()
+	rec.Seq = t.next
+	t.next++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[rec.Seq%uint64(cap(t.ring))] = rec
+	}
+	t.mu.Unlock()
+}
+
+// Total returns how many records were ever written (≥ len(Records())).
+func (t *RuntimeTracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Records returns the retained records in sequence order.
+func (t *RuntimeTracer) Records() []HopRecord {
+	t.mu.Lock()
+	out := append([]HopRecord(nil), t.ring...)
+	t.mu.Unlock()
+	// The ring wraps at cap: rotate so the oldest retained record leads.
+	if len(out) == cap(out) && len(out) > 0 {
+		start := int(t.next % uint64(cap(out)))
+		out = append(out[start:], out[:start]...)
+	}
+	return out
+}
+
+// FlowRecords returns the retained records of one flow, in order.
+func (t *RuntimeTracer) FlowRecords(ft netaddr.FiveTuple) []HopRecord {
+	var out []HopRecord
+	for _, r := range t.Records() {
+		if r.Flow == ft {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RuntimeTrace condenses a flow's HopProcess records into the same shape
+// as the static plan (TraceFlow): the sequence of (middlebox, function)
+// hops its packets actually traversed. With one packet per flow — how
+// the conformance suite drives it — the sequence is exactly the chain;
+// with pipelined multi-packet flows, hops of different packets
+// interleave in record order.
+func (t *RuntimeTracer) RuntimeTrace(ft netaddr.FiveTuple) *Trace {
+	tr := &Trace{Flow: ft}
+	for _, r := range t.FlowRecords(ft) {
+		if r.Event != HopProcess {
+			continue
+		}
+		tr.Hops = append(tr.Hops, TraceHop{Node: r.Node, Func: r.Func})
+	}
+	return tr
+}
+
+// SamePath reports whether two traces visit the same middleboxes running
+// the same functions in the same order — the plan/runtime conformance
+// predicate (costs and candidate sets are plan-side detail and are not
+// compared).
+func (tr *Trace) SamePath(other *Trace) bool {
+	if len(tr.Hops) != len(other.Hops) {
+		return false
+	}
+	for i, h := range tr.Hops {
+		if h.Node != other.Hops[i].Node || h.Func != other.Hops[i].Func {
+			return false
+		}
+	}
+	return true
+}
+
+// SetTracer attaches a runtime tracer (nil detaches). Like SetMetrics,
+// attach before the node's owner starts driving it.
+func (n *Node) SetTracer(t *RuntimeTracer) { n.tracer = t }
+
+// Tracer returns the node's attached tracer (nil if none).
+func (n *Node) Tracer() *RuntimeTracer { return n.tracer }
+
+// trace records one hop event if the node has a tracer and the flow is
+// sampled.
+func (n *Node) trace(ft netaddr.FiveTuple, ev HopEventKind, f policy.FuncType, now int64) {
+	t := n.tracer
+	if t == nil || !t.Sampled(ft) {
+		return
+	}
+	t.Record(HopRecord{Flow: ft, Node: n.ID, Func: f, Event: ev, AtUS: now})
+}

@@ -70,6 +70,24 @@ func SeededJitter(seed int64) int64 {
 }
 `,
 
+	// The metrics registry is inside the guard: it must read time only
+	// through its injected clock, or same-seed simulation snapshots stop
+	// being byte-identical.
+	"internal/metrics/reg.go": `package metrics
+
+import "time"
+
+type Registry struct {
+	clock func() int64
+}
+
+func (r *Registry) BadStamp() int64 {
+	return time.Now().UnixMicro() // want:simdeterminism
+}
+
+func (r *Registry) Stamp() int64 { return r.clock() }
+`,
+
 	"internal/live/live.go": `package live
 
 import (
@@ -204,7 +222,7 @@ func TestAnalyzersOnFixtureModule(t *testing.T) {
 		}
 	}
 	sort.Strings(paths)
-	wantPaths := []string{"fixture", "fixture/internal/faultinject", "fixture/internal/live", "fixture/internal/sim"}
+	wantPaths := []string{"fixture", "fixture/internal/faultinject", "fixture/internal/live", "fixture/internal/metrics", "fixture/internal/sim"}
 	if fmt.Sprint(paths) != fmt.Sprint(wantPaths) {
 		t.Fatalf("loaded %v, want %v", paths, wantPaths)
 	}

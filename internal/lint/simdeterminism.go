@@ -34,6 +34,10 @@ var simDeterminismPkgs = []string{
 	// Fault schedules must replay identically under the simulator; jitter
 	// comes from the schedule's own seeded RNG, never the global source.
 	"/internal/faultinject",
+	// The metrics registry timestamps samples through its injected Clock;
+	// a wall-clock read here would make same-seed simulation snapshots
+	// differ byte for byte, breaking the determinism regression test.
+	"/internal/metrics",
 }
 
 // timeWallClock names the time functions that read the wall clock.

@@ -71,6 +71,8 @@ type Runtime struct {
 	// deterministic sequence.
 	lossNum, lossDen atomic.Int64
 	lossSeq          atomic.Int64
+	// lm is the optional fabric metrics attachment (observe.go).
+	lm atomic.Pointer[liveMetrics]
 }
 
 // NewRuntime creates an empty runtime.
@@ -295,7 +297,7 @@ func (f *udpForwarder) Send(from *enforce.Node, pkt *packet.Packet) {
 	dst := pkt.OutermostDst()
 	ep, ok := f.rt.lookup(dst)
 	if !ok {
-		f.rt.Blackholed.Add(1)
+		f.rt.blackhole()
 		return
 	}
 	frame := append([]byte{frameData}, pkt.Marshal()...)
@@ -305,7 +307,7 @@ func (f *udpForwarder) Send(from *enforce.Node, pkt *packet.Packet) {
 func (f *udpForwarder) SendControl(from *enforce.Node, to netaddr.Addr, flow netaddr.FiveTuple) {
 	ep, ok := f.rt.lookup(to)
 	if !ok {
-		f.rt.Blackholed.Add(1)
+		f.rt.blackhole()
 		return
 	}
 	f.rt.sendTo(ep, marshalControl(flow))
@@ -339,16 +341,23 @@ func (r *Runtime) shouldDrop() bool {
 func (r *Runtime) sendTo(ep *net.UDPAddr, frame []byte) {
 	if r.shouldDrop() {
 		r.Dropped.Add(1)
+		if m := r.lm.Load(); m != nil {
+			m.dropped.Inc()
+		}
 		return
 	}
 	conn, err := net.DialUDP("udp4", nil, ep)
 	if err != nil {
-		r.Blackholed.Add(1)
+		r.blackhole()
 		return
 	}
 	defer conn.Close()
 	if _, err := conn.Write(frame); err != nil {
-		r.Blackholed.Add(1)
+		r.blackhole()
+		return
+	}
+	if m := r.lm.Load(); m != nil {
+		m.sent.Inc()
 	}
 }
 

@@ -1,0 +1,49 @@
+package live
+
+import (
+	"sdme/internal/metrics"
+)
+
+// Live-fabric metric family names. The per-node dataplane families come
+// from enforce/observe.go — attach them with Node.SetMetrics BEFORE
+// AddDevice, so the device goroutine never races the attachment.
+const (
+	MetricBlackholed  = "sdme_live_blackholed_total"
+	MetricLossDropped = "sdme_live_loss_dropped_total"
+	MetricSent        = "sdme_live_datagrams_sent_total"
+)
+
+// liveMetrics caches the runtime's registry handles.
+type liveMetrics struct {
+	blackholed, dropped, sent *metrics.Counter
+}
+
+// NewRegistry creates a registry driven by the runtime's wall clock
+// (microseconds since start) — the live counterpart of the simulator's
+// virtual-time registry, emitting the same dataplane family names.
+func (r *Runtime) NewRegistry() *metrics.Registry {
+	return metrics.NewRegistry(r.NowUS)
+}
+
+// AttachMetrics wires a registry into the fabric: datagrams sent,
+// blackholed (unmapped address) and dropped by injected loss. Safe to
+// call while devices run; nil detaches.
+func (r *Runtime) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		r.lm.Store(nil)
+		return
+	}
+	r.lm.Store(&liveMetrics{
+		blackholed: reg.Counter(MetricBlackholed),
+		dropped:    reg.Counter(MetricLossDropped),
+		sent:       reg.Counter(MetricSent),
+	})
+}
+
+// blackhole counts an undeliverable datagram on both surfaces.
+func (r *Runtime) blackhole() {
+	r.Blackholed.Add(1)
+	if m := r.lm.Load(); m != nil {
+		m.blackholed.Inc()
+	}
+}

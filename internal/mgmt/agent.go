@@ -12,6 +12,7 @@ import (
 
 	"sdme/internal/enforce"
 	"sdme/internal/live"
+	"sdme/internal/metrics"
 )
 
 // AgentOptions tunes the agent's self-healing behavior. The zero value
@@ -34,6 +35,9 @@ type AgentOptions struct {
 	// MaxReconnectAttempts caps consecutive failed dials before the
 	// agent gives up (0 = retry forever).
 	MaxReconnectAttempts int
+	// Metrics, when non-nil, records the agent's self-healing activity
+	// (reconnects, applies, epoch rejects, reports) under a node label.
+	Metrics *metrics.Registry
 }
 
 func (o *AgentOptions) fill(dev *live.Device, serverAddr string) {
@@ -90,6 +94,7 @@ type Agent struct {
 	applies    atomic.Int64
 	stale      atomic.Int64
 	reports    atomic.Int64
+	am         *agentMetrics // nil unless AgentOptions.Metrics was set
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -109,6 +114,7 @@ func NewAgent(dev *live.Device, serverAddr string, reportEvery time.Duration) (*
 func NewAgentWith(dev *live.Device, serverAddr string, opts AgentOptions) (*Agent, error) {
 	opts.fill(dev, serverAddr)
 	a := &Agent{dev: dev, opts: opts, stop: make(chan struct{})}
+	a.am = newAgentMetrics(opts.Metrics, int(dev.Node.ID))
 	conn, err := a.connect()
 	if err != nil {
 		return nil, fmt.Errorf("mgmt: dial %s: %w", serverAddr, err)
@@ -233,6 +239,9 @@ func (a *Agent) run(conn net.Conn) {
 				default:
 				}
 				a.reconnects.Add(1)
+				if a.am != nil {
+					a.am.reconnects.Inc()
+				}
 				conn = c
 				break
 			}
@@ -272,6 +281,9 @@ func (a *Agent) handleConfig(data []byte) {
 	// re-applying — at-most-once application per epoch.
 	if dto.Epoch != 0 && dto.Epoch <= a.epoch.Load() {
 		a.stale.Add(1)
+		if a.am != nil {
+			a.am.epochRejects.Inc()
+		}
 		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch})
 		return
 	}
@@ -298,6 +310,9 @@ func (a *Agent) handleConfig(data []byte) {
 	}
 	if errStr == "" {
 		a.applies.Add(1)
+		if a.am != nil {
+			a.am.applies.Inc()
+		}
 		if dto.Epoch > a.epoch.Load() {
 			a.epoch.Store(dto.Epoch)
 		}
@@ -343,6 +358,9 @@ func (a *Agent) reportLoop(every time.Duration) {
 				continue
 			}
 			a.reports.Add(1)
+			if a.am != nil {
+				a.am.reports.Inc()
+			}
 			carry = nil
 		}
 	}

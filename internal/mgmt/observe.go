@@ -1,0 +1,80 @@
+package mgmt
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"sdme/internal/metrics"
+)
+
+// Management-channel metric family names. The server families are
+// unlabeled (one controller); the agent families carry a node label.
+const (
+	MetricPushes          = "sdme_mgmt_pushes_total"
+	MetricPushAttempts    = "sdme_mgmt_push_attempts_total"
+	MetricPushRetries     = "sdme_mgmt_push_retries_total"
+	MetricPushFailures    = "sdme_mgmt_push_failures_total"
+	MetricRefused         = "sdme_mgmt_push_refused_total"
+	MetricAgentConnects   = "sdme_mgmt_agent_connects_total"
+	MetricReconnectRepush = "sdme_mgmt_reconnect_repush_total"
+	MetricMeasureReports  = "sdme_mgmt_measure_reports_total"
+
+	MetricAgentReconnects   = "sdme_agent_reconnects_total"
+	MetricAgentApplies      = "sdme_agent_applies_total"
+	MetricAgentEpochRejects = "sdme_agent_epoch_rejects_total"
+	MetricAgentReports      = "sdme_agent_reports_total"
+)
+
+// serverMetrics caches the server's registry handles.
+type serverMetrics struct {
+	pushes, attempts, retries, failures, refused *metrics.Counter
+	connects, repush, reports                    *metrics.Counter
+}
+
+// SetMetrics attaches a registry to the server. Safe to call while
+// connections are live (the handle swaps atomically); nil detaches.
+func (s *Server) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		s.sm.Store(nil)
+		return
+	}
+	s.sm.Store(&serverMetrics{
+		pushes:   reg.Counter(MetricPushes),
+		attempts: reg.Counter(MetricPushAttempts),
+		retries:  reg.Counter(MetricPushRetries),
+		failures: reg.Counter(MetricPushFailures),
+		refused:  reg.Counter(MetricRefused),
+		connects: reg.Counter(MetricAgentConnects),
+		repush:   reg.Counter(MetricReconnectRepush),
+		reports:  reg.Counter(MetricMeasureReports),
+	})
+}
+
+// smInc bumps one server counter if a registry is attached; the selector
+// keeps call sites one line.
+func (s *Server) smInc(sel func(*serverMetrics) *metrics.Counter) {
+	if m := s.sm.Load(); m != nil {
+		sel(m).Inc()
+	}
+}
+
+// agentMetrics caches an agent's per-node registry handles.
+type agentMetrics struct {
+	reconnects, applies, epochRejects, reports *metrics.Counter
+}
+
+func newAgentMetrics(reg *metrics.Registry, nodeID int) *agentMetrics {
+	if reg == nil {
+		return nil
+	}
+	node := strconv.Itoa(nodeID)
+	return &agentMetrics{
+		reconnects:   reg.Counter(MetricAgentReconnects, "node", node),
+		applies:      reg.Counter(MetricAgentApplies, "node", node),
+		epochRejects: reg.Counter(MetricAgentEpochRejects, "node", node),
+		reports:      reg.Counter(MetricAgentReports, "node", node),
+	}
+}
+
+// smPtr is a tiny alias so server.go's struct stays readable.
+type smPtr = atomic.Pointer[serverMetrics]

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sdme/internal/metrics"
 	"sdme/internal/topo"
 )
 
@@ -85,6 +86,9 @@ type Server struct {
 	onMeas  func(topo.NodeID, []MeasureRow)
 	closed  bool
 	repush  RetryPolicy
+
+	// sm is the optional metrics attachment (observe.go).
+	sm smPtr
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -265,25 +269,30 @@ func (s *Server) PushRetry(node topo.NodeID, dto ConfigDTO, pol RetryPolicy) err
 	}
 	s.storeLatestLocked(node, dto)
 	s.mu.Unlock()
+	s.smInc(func(m *serverMetrics) *metrics.Counter { return m.pushes })
 
 	var lastErr error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
+			s.smInc(func(m *serverMetrics) *metrics.Counter { return m.retries })
 			select {
 			case <-time.After(pol.Backoff << (attempt - 1)):
 			case <-s.stop:
 				return fmt.Errorf("mgmt: push to %v: %w", node, ErrServerClosed)
 			}
 		}
+		s.smInc(func(m *serverMetrics) *metrics.Counter { return m.attempts })
 		lastErr = s.pushOnce(node, dto, pol.PerAttempt)
 		if lastErr == nil {
 			return nil
 		}
 		var refused *RefusedError
 		if errors.As(lastErr, &refused) {
+			s.smInc(func(m *serverMetrics) *metrics.Counter { return m.refused })
 			return lastErr
 		}
 	}
+	s.smInc(func(m *serverMetrics) *metrics.Counter { return m.failures })
 	return lastErr
 }
 
@@ -422,12 +431,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	if ackErr != nil {
 		return
 	}
+	s.smInc(func(m *serverMetrics) *metrics.Counter { return m.connects })
 
 	// Reconnect catch-up: if the agent's last applied epoch is behind the
 	// latest plan recorded for it, re-push that plan (same epoch, fresh
 	// seq). An agent already at the latest epoch gets nothing — the push
 	// is idempotent, not periodic.
 	if haveLatest && latest.Epoch > hello.Epoch {
+		s.smInc(func(m *serverMetrics) *metrics.Counter { return m.repush })
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -467,6 +478,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if json.Unmarshal(env.Data, &m) != nil {
 				continue
 			}
+			s.smInc(func(mm *serverMetrics) *metrics.Counter { return mm.reports })
 			if s.onMeas != nil {
 				s.onMeas(topo.NodeID(m.NodeID), m.Rows)
 			}

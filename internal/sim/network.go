@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sdme/internal/enforce"
+	"sdme/internal/metrics"
 	"sdme/internal/netaddr"
 	"sdme/internal/ospf"
 	"sdme/internal/packet"
@@ -105,6 +106,13 @@ type Network struct {
 	// down marks crashed devices: packets addressed to them blackhole
 	// (DroppedDown) until the node is marked up again.
 	down map[topo.NodeID]bool
+
+	// Observability attachments (observe.go); all nil/empty unless
+	// AttachMetrics / SetTracer were called.
+	m       *simMetrics
+	tracer  *enforce.RuntimeTracer
+	snaps   []metrics.Snapshot
+	pktHops map[*packet.Packet]int64
 }
 
 // New assembles a simulation over a converged OSPF domain. The nodes map
@@ -121,6 +129,7 @@ func New(g *topo.Graph, dom *ospf.Domain, dep *enforce.Deployment, nodes map[top
 		busyUntil:   make(map[topo.NodeID]int64),
 		born:        make(map[*packet.Packet]int64),
 		down:        make(map[topo.NodeID]bool),
+		pktHops:     make(map[*packet.Packet]int64),
 	}
 	nw.fwd = &simForwarder{nw: nw}
 	return nw
@@ -193,6 +202,9 @@ func (nw *Network) InjectFlow(ft netaddr.FiveTuple, packets, bytes int, start, g
 		at := start + int64(i)*gap + loopDelay
 		nw.Engine.After(at-nw.Engine.Now(), func() {
 			nw.stats.PacketsInjected++
+			if nw.m != nil {
+				nw.m.injected.Inc()
+			}
 			if nw.down[proxyID] {
 				// The subnet's proxy is dead: outbound traffic blackholes
 				// at the first hop until it recovers.
@@ -305,6 +317,12 @@ func (nw *Network) hop(router topo.NodeID, tr *transit) {
 	h.TTL--
 	delay := nw.linkDelay(router, rt.NextHop, tr)
 	nw.stats.PacketHops += int64(tr.copies)
+	if nw.m != nil {
+		nw.m.hopLat.Observe(delay)
+		if _, tracked := nw.born[tr.pkt]; tracked {
+			nw.pktHops[tr.pkt]++
+		}
+	}
 	nw.Engine.After(delay, func() { nw.hop(rt.NextHop, tr) })
 }
 
@@ -382,6 +400,19 @@ func (nw *Network) deliverData(dev topo.NodeID, pkt *packet.Packet, now int64) {
 			if wait > nw.stats.QueueDelayMaxUS {
 				nw.stats.QueueDelayMaxUS = wait
 			}
+			if nw.m != nil {
+				nw.m.queue.Observe(wait)
+			}
+			// Queue trace: only tunneled packets carry the original tuple
+			// in their inner header; labeled ones are rewritten, so skip.
+			if nw.tracer != nil && pkt.IsEncapsulated() {
+				if ft := pkt.FiveTuple(); nw.tracer.Sampled(ft) {
+					nw.tracer.Record(enforce.HopRecord{
+						Flow: ft, Node: dev, Event: enforce.HopQueue,
+						AtUS: now, WaitUS: wait,
+					})
+				}
+			}
 			done := nw.busyUntil[dev]
 			nw.Engine.After(done-now, func() {
 				nw.processAtMiddlebox(n, pkt, done)
@@ -428,6 +459,12 @@ func (nw *Network) recordLatency(pkt *packet.Packet, now int64) {
 	nw.stats.LatencyTotalUS += lat
 	if lat > nw.stats.LatencyMaxUS {
 		nw.stats.LatencyMaxUS = lat
+	}
+	if nw.m != nil {
+		nw.m.delivered.Inc()
+		nw.m.e2e.Observe(lat)
+		nw.m.hops.Observe(nw.pktHops[pkt])
+		delete(nw.pktHops, pkt)
 	}
 }
 

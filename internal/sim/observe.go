@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"sdme/internal/enforce"
+	"sdme/internal/metrics"
+)
+
+// Substrate-level metric family names. The sdme_node_* / sdme_func_*
+// families come from the shared enforce dataplane (enforce/observe.go)
+// and are emitted identically by sim and live; the families below are
+// network-path measurements that currently only the simulator can take.
+const (
+	MetricInjected   = "sdme_packets_injected_total"
+	MetricDelivered  = "sdme_packets_delivered_total"
+	MetricE2ELatency = "sdme_e2e_latency_us"
+	MetricPathHops   = "sdme_path_hops"
+	MetricHopLatency = "sdme_hop_latency_us"
+	MetricQueueDelay = "sdme_queue_delay_us"
+)
+
+// simMetrics caches the network's registry handles.
+type simMetrics struct {
+	reg       *metrics.Registry
+	injected  *metrics.Counter
+	delivered *metrics.Counter
+	e2e       *metrics.Histogram
+	hops      *metrics.Histogram
+	hopLat    *metrics.Histogram
+	queue     *metrics.Histogram
+}
+
+// NewRegistry creates a metrics registry driven by this network's
+// virtual clock, so snapshots are stamped with simulation time and two
+// same-seed runs produce byte-identical output.
+func (nw *Network) NewRegistry() *metrics.Registry {
+	return metrics.NewRegistry(func() int64 { return nw.Engine.Now() })
+}
+
+// AttachMetrics wires a registry into the network and every enforcement
+// node: the dataplane families (per-node, per-func) plus the simulator's
+// path measurements — end-to-end latency, per-link hop latency, path hop
+// counts and middlebox queueing delay. nil detaches.
+func (nw *Network) AttachMetrics(reg *metrics.Registry) {
+	for _, n := range nw.nodes {
+		n.SetMetrics(reg)
+	}
+	if reg == nil {
+		nw.m = nil
+		return
+	}
+	nw.m = &simMetrics{
+		reg:       reg,
+		injected:  reg.Counter(MetricInjected),
+		delivered: reg.Counter(MetricDelivered),
+		e2e:       reg.Histogram(MetricE2ELatency, metrics.LatencyBucketsUS),
+		hops:      reg.Histogram(MetricPathHops, metrics.HopBuckets),
+		hopLat:    reg.Histogram(MetricHopLatency, metrics.LatencyBucketsUS),
+		queue:     reg.Histogram(MetricQueueDelay, metrics.LatencyBucketsUS),
+	}
+	reg.SetHelp(MetricE2ELatency, "end-to-end delivery latency of injected data packets")
+	reg.SetHelp(MetricPathHops, "router-to-router transmissions per delivered packet")
+}
+
+// Registry returns the attached registry (nil if none).
+func (nw *Network) Registry() *metrics.Registry {
+	if nw.m == nil {
+		return nil
+	}
+	return nw.m.reg
+}
+
+// SetTracer attaches a runtime tracer to every enforcement node (and to
+// the network itself for queue events). nil detaches.
+func (nw *Network) SetTracer(t *enforce.RuntimeTracer) {
+	nw.tracer = t
+	for _, n := range nw.nodes {
+		n.SetTracer(t)
+	}
+}
+
+// SnapshotEvery schedules periodic registry snapshots at virtual times
+// every, 2·every, … up to and including until (both in microseconds).
+// The horizon is required so Run(0) can still drain the event queue; the
+// snapshots are retrievable via Snapshots after the run.
+func (nw *Network) SnapshotEvery(every, until int64) {
+	if nw.m == nil || every <= 0 {
+		return
+	}
+	for at := every; at <= until; at += every {
+		nw.Engine.After(at-nw.Engine.Now(), func() {
+			nw.snaps = append(nw.snaps, nw.m.reg.Snapshot())
+		})
+	}
+}
+
+// Snapshots returns the snapshots taken so far, in virtual-time order.
+func (nw *Network) Snapshots() []metrics.Snapshot {
+	return append([]metrics.Snapshot(nil), nw.snaps...)
+}
