@@ -4,16 +4,24 @@
 //
 // Usage:
 //
-//	sdme-vet [-list] [-run name1,name2] [-typeerrors] [patterns ...]
+//	sdme-vet [-list] [-run name1,name2] [-json] [-typeerrors]
+//	         [-lockdepth n] [-taintdepth n] [-leakdepth n] [patterns ...]
 //
 // Patterns default to ./... and accept the usual forms (./internal/live,
 // ./..., sdme/internal/...). The exit status is 1 when any diagnostic is
 // reported, so CI can gate on it. Findings are suppressed per line with
 // a `//vet:ignore <analyzer>` comment on the offending line or the line
 // above it.
+//
+// -json emits the findings as a single JSON array (sorted by position,
+// like the text output) for machine consumption; the exit status
+// contract is unchanged. The -*depth flags bound how many static call
+// edges the interprocedural analyzers follow (0 disables the
+// interprocedural part of lockedblocking).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +43,14 @@ func run() (int, error) {
 	list := flag.Bool("list", false, "list the available analyzers and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	showTypeErrs := flag.Bool("typeerrors", false, "also print type-checker errors encountered while loading")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	lockDepth := flag.Int("lockdepth", lint.LockedBlockingDepth, "call depth for interprocedural lockedblocking (0 = intraprocedural only)")
+	taintDepth := flag.Int("taintdepth", lint.WireTaintDepth, "call depth for wiretaint sink summaries")
+	leakDepth := flag.Int("leakdepth", lint.GoroutineLeakDepth, "call depth for goroutineleak stop-path search")
 	flag.Parse()
+	lint.LockedBlockingDepth = *lockDepth
+	lint.WireTaintDepth = *taintDepth
+	lint.GoroutineLeakDepth = *leakDepth
 
 	analyzers := lint.Analyzers()
 	if *list {
@@ -80,12 +95,47 @@ func run() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *asJSON {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sdme-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// jsonDiag is the machine-readable finding shape; fields are stable API
+// for CI tooling.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics (already position-sorted by lint.Run)
+// as one indented JSON array. An empty run emits [] so consumers always
+// parse valid JSON.
+func writeJSON(w *os.File, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

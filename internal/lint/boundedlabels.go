@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BoundedLabels guards the metrics registry against cardinality
+// explosion: every label value handed to Registry.Counter / Gauge /
+// Histogram must derive from a compile-time-bounded set (constants,
+// enum String()s, node identifiers), never from raw packet or flow
+// fields. One label series exists per distinct value — a label built
+// from a five-tuple or packet header mints a new series per flow and
+// grows the registry (and every snapshot the conformance suite
+// compares) without bound under production traffic.
+//
+// Detection is taint-based: any expression whose evaluation touches a
+// value of a type from internal/packet, or a netaddr.FiveTuple /
+// netaddr.PortRange, is unbounded; the taint layer follows such values
+// through locals and function results into the label-value argument
+// positions.
+var BoundedLabels = &Analyzer{
+	Name: "boundedlabels",
+	Doc:  "flag metrics label values derived from unbounded packet/flow data",
+	Run:  runBoundedLabels,
+}
+
+// boundedLabelsBannedPkgs are defining-package suffixes whose types are
+// per-packet (unbounded) data.
+var boundedLabelsBannedPkgs = []string{"internal/packet"}
+
+// boundedLabelsBannedTypes are individual named types (pkg-suffix,
+// name) that identify flows.
+var boundedLabelsBannedTypes = [][2]string{
+	{"internal/netaddr", "FiveTuple"},
+	{"internal/netaddr", "PortRange"},
+}
+
+func runBoundedLabels(pass *Pass) error {
+	b := &boundedLabels{pass: pass}
+	t := &taintAnalysis{pass: pass, spec: taintSpec{
+		typeSource: bannedLabelType,
+		propagate:  true,
+	}}
+	forEachFunc(pass.Pkg, func(fd *ast.FuncDecl) {
+		t.run(fd.Body, make(FactSet), b.checkCall)
+	})
+	return nil
+}
+
+type boundedLabels struct {
+	pass *Pass
+}
+
+// bannedLabelType reports whether a type carries per-packet/per-flow
+// data.
+func bannedLabelType(t types.Type) bool {
+	t = deref(t)
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	for _, suffix := range boundedLabelsBannedPkgs {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	for _, bt := range boundedLabelsBannedTypes {
+		if strings.HasSuffix(path, bt[0]) && n.Obj().Name() == bt[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall inspects registry get-or-create calls: the variadic label
+// list alternates key, value; the value positions must be clean.
+func (b *boundedLabels) checkCall(call *ast.CallExpr, tainted func(ast.Expr) bool) {
+	labels, ok := labelArgs(b.pass, call)
+	if !ok {
+		return
+	}
+	for i := 1; i < len(labels); i += 2 {
+		if tainted(labels[i]) {
+			b.pass.Reportf(labels[i].Pos(),
+				"metrics label value derives from packet/flow data: unbounded cardinality (one series per flow); label values must come from a compile-time-bounded set")
+		}
+	}
+}
+
+// labelArgs returns the label-list arguments of a Registry.Counter /
+// Gauge / Histogram call (false when the call is something else or the
+// list is passed as a spread slice the analyzer cannot see through).
+func labelArgs(pass *Pass, call *ast.CallExpr) ([]ast.Expr, bool) {
+	if call.Ellipsis.IsValid() {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	var skip int
+	switch sel.Sel.Name {
+	case "Counter", "Gauge":
+		skip = 1 // name
+	case "Histogram":
+		skip = 2 // name, bounds
+	default:
+		return nil, false
+	}
+	recv := receiverTypeOf(pass, sel)
+	if recv == nil {
+		return nil, false
+	}
+	n, ok := recv.(*types.Named)
+	if !ok || n.Obj().Name() != "Registry" || n.Obj().Pkg() == nil ||
+		!strings.HasSuffix(n.Obj().Pkg().Path(), "internal/metrics") {
+		return nil, false
+	}
+	if len(call.Args) <= skip {
+		return nil, true
+	}
+	return call.Args[skip:], true
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// FactSet is a set of dataflow facts. Fact identity is the analyzer's
+// choice — the taint layer uses *types.Object (variables), other
+// analyzers can key anything comparable.
+type FactSet map[any]bool
+
+// Has reports membership.
+func (s FactSet) Has(f any) bool { return s[f] }
+
+// Add inserts a fact and reports whether it was new.
+func (s FactSet) Add(f any) bool {
+	if s[f] {
+		return false
+	}
+	s[f] = true
+	return true
+}
+
+// Delete removes a fact.
+func (s FactSet) Delete(f any) { delete(s, f) }
+
+// Clone copies the set.
+func (s FactSet) Clone() FactSet {
+	out := make(FactSet, len(s))
+	for f := range s {
+		out[f] = true
+	}
+	return out
+}
+
+// union merges src into dst, reporting whether dst grew.
+func (s FactSet) union(src FactSet) bool {
+	grew := false
+	for f := range src {
+		if !s[f] {
+			s[f] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+// TransferFunc computes the fact set after one CFG node given the set
+// before it. Implementations may mutate and return `in`.
+type TransferFunc func(n ast.Node, in FactSet) FactSet
+
+// Forward runs a forward may-analysis (union at joins) over the CFG to
+// a fixpoint and returns each block's entry fact set. The transfer
+// function must be monotone for termination; fact sets only grow along
+// the lattice, so any transfer that only adds or keeps facts qualifies
+// — transfers that remove facts (taint sanitization) still terminate
+// because the per-block entry sets grow monotonically via union.
+func Forward(cfg *CFG, entry FactSet, transfer TransferFunc) map[*CFGBlock]FactSet {
+	in := make(map[*CFGBlock]FactSet, len(cfg.Blocks))
+	in[cfg.Entry] = entry.Clone()
+
+	// Deterministic worklist: process lowest block index first.
+	pending := map[int]bool{cfg.Entry.Index: true}
+	pop := func() *CFGBlock {
+		if len(pending) == 0 {
+			return nil
+		}
+		idxs := make([]int, 0, len(pending))
+		for i := range pending {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		i := idxs[0]
+		delete(pending, i)
+		return cfg.Blocks[i]
+	}
+
+	for b := pop(); b != nil; b = pop() {
+		out := in[b].Clone()
+		for _, n := range b.Nodes {
+			out = transfer(n, out)
+		}
+		for _, succ := range b.Succs {
+			si, ok := in[succ]
+			if !ok {
+				in[succ] = out.Clone()
+				pending[succ.Index] = true
+				continue
+			}
+			if si.union(out) {
+				pending[succ.Index] = true
+			}
+		}
+	}
+	return in
+}
+
+// WalkReachable invokes fn for every CFG node reachable from the entry,
+// with that block's fixpoint entry facts threaded through the block's
+// transfer (so fn observes the facts in force *before* each node).
+// Blocks never reached by the fixpoint (dead code) are skipped. Used as
+// the reporting pass after Forward.
+func WalkReachable(cfg *CFG, in map[*CFGBlock]FactSet, transfer TransferFunc, fn func(n ast.Node, facts FactSet)) {
+	for _, b := range cfg.Blocks {
+		facts, ok := in[b]
+		if !ok {
+			continue
+		}
+		cur := facts.Clone()
+		for _, n := range b.Nodes {
+			fn(n, cur)
+			cur = transfer(n, cur)
+		}
+	}
+}

@@ -4,7 +4,14 @@
 // on top of the standard library's go/ast and go/types, so the project
 // needs no external module to run its own vet pass (cmd/sdme-vet).
 //
-// Three analyzers ship with it:
+// Beyond the AST layer, the package carries a small dataflow engine —
+// per-function control-flow graphs (cfg.go), a program-wide function
+// index and static call graph (program.go), a forward fixpoint solver
+// (dataflow.go) and an object-granular taint propagation layer
+// (taint.go) — that interprocedural analyzers plug into. DESIGN.md §9
+// documents the architecture and the contract for adding analyzers.
+//
+// Six analyzers ship with it:
 //
 //   - simdeterminism flags wall-clock reads (time.Now, time.Since) and
 //     global math/rand calls in the simulation packages, where time must
@@ -12,10 +19,22 @@
 //     resumed runs diverge;
 //   - lockedblocking flags blocking operations (channel sends/receives,
 //     selects without default, sync.WaitGroup.Wait, net connection I/O,
-//     time.Sleep) performed while a sync.Mutex or RWMutex is held;
+//     time.Sleep) performed while a sync.Mutex or RWMutex is held — and,
+//     interprocedurally, calls whose static callees block up to a
+//     configurable depth below the lock site;
 //   - conncheck flags dropped error results from Close/Write/Read calls
 //     on net and os connection-like values (an explicit `_ =` counts as
-//     an intentional discard).
+//     an intentional discard);
+//   - wiretaint tracks values produced by the management-channel wire
+//     codec (readMsg/Decode*/json.Unmarshal) and reports any that reach
+//     enforcement state (Node.Install, SetWeights, flow-table mutation,
+//     controller solvers) without passing a Validate-family call;
+//   - goroutineleak flags `go` statements in the long-lived packages
+//     whose goroutine can neither terminate nor observe a stop signal
+//     (no reachable return, no ctx/done/closed-channel read);
+//   - boundedlabels flags metrics label values derived from raw
+//     packet/flow fields, whose unbounded cardinality would explode the
+//     registry (labels must come from compile-time-bounded sets).
 //
 // A finding can be suppressed with a line comment on the offending line
 // or the line above it:
@@ -48,7 +67,11 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	report   func(Diagnostic)
+	// Prog is the whole-run view (every package of this Run, function
+	// index, CFGs, call graph) for interprocedural analyzers. Purely
+	// syntactic analyzers can ignore it.
+	Prog   *Program
+	report func(Diagnostic)
 }
 
 // Reportf records a finding at pos.
@@ -74,7 +97,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the default analyzer set, the one cmd/sdme-vet runs.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SimDeterminism, LockedBlocking, ConnCheck}
+	return []*Analyzer{
+		SimDeterminism, LockedBlocking, ConnCheck,
+		WireTaint, GoroutineLeak, BoundedLabels,
+	}
 }
 
 // Run executes the analyzers over the packages, applies //vet:ignore
@@ -84,12 +110,14 @@ func Analyzers() []*Analyzer {
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	var firstErr error
+	prog := NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		ignored := ignoredLines(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Pkg:      pkg,
+				Prog:     prog,
 				report: func(d Diagnostic) {
 					if ignored[suppressKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
 						ignored[suppressKey{d.Pos.Filename, d.Pos.Line, "*"}] {

@@ -14,8 +14,8 @@ import (
 // needing that mutex — in the lock-heavy live runtime and management
 // channel this turns one slow peer into a stalled dataplane.
 //
-// The check is an intra-procedural linear walk of each function body:
-// x.Lock()/x.RLock() marks the mutex held, x.Unlock()/x.RUnlock()
+// The lock tracking is an intra-procedural linear walk of each function
+// body: x.Lock()/x.RLock() marks the mutex held, x.Unlock()/x.RUnlock()
 // releases it, `defer x.Unlock()` keeps it held to the end of the body.
 // While any mutex is held it reports:
 //
@@ -23,20 +23,35 @@ import (
 //   - select statements without a default clause;
 //   - sync.WaitGroup.Wait;
 //   - method calls on net package values (conn reads/writes/accepts);
+//   - io.Reader/io.Writer interface reads and writes (and the io
+//     package's ReadFull/ReadAll/Copy helpers) — socket I/O usually
+//     hides behind these interfaces;
 //   - time.Sleep.
+//
+// Blocking is also tracked interprocedurally: a call to a module
+// function whose body (or any static callee up to LockedBlockingDepth
+// edges deep) performs one of the operations above is reported at the
+// mutex-holding call site, with the call chain and the blocking
+// operation's position in the message. A helper that does channel I/O
+// two frames down no longer hides the convoy from the analyzer.
 //
 // Branches are analyzed with a copy of the held set, so a conditional
 // unlock does not leak out of its branch. Function literals are skipped:
 // a closure body runs at an unknown time under unknown locks.
 var LockedBlocking = &Analyzer{
 	Name: "lockedblocking",
-	Doc:  "flag blocking operations performed while a sync mutex is held",
+	Doc:  "flag blocking operations performed (or reachable by call) while a sync mutex is held",
 	Run:  runLockedBlocking,
 }
 
+// LockedBlockingDepth bounds how many static call edges the analyzer
+// follows below a lock site looking for a blocking operation
+// (cmd/sdme-vet -lockdepth). Depth 0 disables the interprocedural pass.
+var LockedBlockingDepth = 3
+
 func runLockedBlocking(pass *Pass) error {
+	c := &lockChecker{pass: pass, summaries: make(map[*FuncInfo]*blockSummary)}
 	forEachFunc(pass.Pkg, func(fd *ast.FuncDecl) {
-		c := &lockChecker{pass: pass}
 		c.block(fd.Body.List, make(map[string]token.Pos))
 	})
 	return nil
@@ -45,6 +60,10 @@ func runLockedBlocking(pass *Pass) error {
 // lockChecker walks one function body.
 type lockChecker struct {
 	pass *Pass
+	// summaries memoizes per-function blocking summaries for the
+	// interprocedural pass. A nil entry means "does not block".
+	summaries map[*FuncInfo]*blockSummary
+	inFlight  map[*FuncInfo]bool
 }
 
 // heldNames renders the held set for messages, deterministic order.
@@ -213,32 +232,137 @@ func (c *lockChecker) expr(e ast.Expr, held map[string]token.Pos) {
 	})
 }
 
-// blockingCall reports calls that block: WaitGroup.Wait, net I/O,
-// time.Sleep.
+// blockingCall reports calls that block — directly (WaitGroup.Wait,
+// net/io I/O, time.Sleep) or through a module callee whose summary says
+// some path blocks.
 func (c *lockChecker) blockingCall(call *ast.CallExpr, held map[string]token.Pos) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
+	if desc, ok := directBlockingCall(c.pass, call); ok {
+		c.pass.Reportf(call.Pos(), "%s while mutex %s is held", desc, heldNames(held))
 		return
 	}
-	// time.Sleep (package-level function).
-	if pkgPath, ok := packageQualifier(c.pass, sel); ok {
-		if pkgPath == "time" && sel.Sel.Name == "Sleep" {
-			c.pass.Reportf(call.Pos(), "time.Sleep while mutex %s is held", heldNames(held))
+	if LockedBlockingDepth <= 0 {
+		return
+	}
+	callee := c.pass.Prog.Callee(c.pass.Pkg, call)
+	if callee == nil {
+		return
+	}
+	if s := c.summary(callee, LockedBlockingDepth); s != nil {
+		c.pass.Reportf(call.Pos(), "call to %s may block (%s via %s at %s) while mutex %s is held",
+			callee.Name(), s.op, strings.Join(s.chain, " → "),
+			c.pass.Pkg.Fset.Position(s.pos), heldNames(held))
+	}
+}
+
+// blockSummary records why a function may block: the operation, its
+// position, and the call chain from the summarized function down to it.
+type blockSummary struct {
+	op    string
+	pos   token.Pos
+	chain []string
+}
+
+// summary computes (memoized) whether fi can block within depth call
+// edges. Recursion through a cycle under-approximates to non-blocking
+// for the in-flight functions.
+func (c *lockChecker) summary(fi *FuncInfo, depth int) *blockSummary {
+	if s, ok := c.summaries[fi]; ok {
+		return s
+	}
+	if depth <= 0 || c.inFlight[fi] {
+		return nil
+	}
+	if c.inFlight == nil {
+		c.inFlight = make(map[*FuncInfo]bool)
+	}
+	c.inFlight[fi] = true
+	defer delete(c.inFlight, fi)
+
+	pass := passFor(c.pass, fi.Pkg)
+	var found *blockSummary
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
 		}
-		return
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			// Runs at another time or on another goroutine: its blocking
+			// is not attributable to this call.
+			return false
+		case *ast.SendStmt:
+			found = &blockSummary{op: "channel send", pos: n.Pos(), chain: []string{fi.Name()}}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = &blockSummary{op: "channel receive", pos: n.Pos(), chain: []string{fi.Name()}}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				found = &blockSummary{op: "select without default", pos: n.Pos(), chain: []string{fi.Name()}}
+			}
+			return false // comm exprs of a defaulted select don't block
+		case *ast.RangeStmt:
+			if tv, ok := pass.Pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = &blockSummary{op: "range over channel", pos: n.Pos(), chain: []string{fi.Name()}}
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if desc, ok := directBlockingCall(pass, n); ok {
+				found = &blockSummary{op: desc, pos: n.Pos(), chain: []string{fi.Name()}}
+				return false
+			}
+			if callee := pass.Prog.Callee(pass.Pkg, n); callee != nil && callee != fi {
+				if sub := c.summary(callee, depth-1); sub != nil {
+					found = &blockSummary{
+						op:    sub.op,
+						pos:   sub.pos,
+						chain: append([]string{fi.Name()}, sub.chain...),
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	c.summaries[fi] = found
+	return found
+}
+
+// directBlockingCall classifies one call as a known blocking operation.
+func directBlockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
 	}
-	recv := c.receiverType(sel)
+	// Package-level functions: time.Sleep and the io helpers.
+	if pkgPath, ok := packageQualifier(pass, sel); ok {
+		switch {
+		case pkgPath == "time" && sel.Sel.Name == "Sleep":
+			return "time.Sleep", true
+		case pkgPath == "io" && ioBlockingFuncs[sel.Sel.Name]:
+			return "io." + sel.Sel.Name, true
+		}
+		return "", false
+	}
+	recv := receiverTypeOf(pass, sel)
 	if recv == nil {
-		return
+		return "", false
 	}
 	if isNamedIn(recv, "sync", "WaitGroup") && sel.Sel.Name == "Wait" {
-		c.pass.Reportf(call.Pos(), "sync.WaitGroup.Wait while mutex %s is held", heldNames(held))
-		return
+		return "sync.WaitGroup.Wait", true
 	}
-	if pkgOf(recv) == "net" && netBlockingMethods[sel.Sel.Name] {
-		c.pass.Reportf(call.Pos(), "%s.%s on a net connection while mutex %s is held",
-			types.TypeString(recv, qualifierShort), sel.Sel.Name, heldNames(held))
+	switch pkgOf(recv) {
+	case "net":
+		if netBlockingMethods[sel.Sel.Name] {
+			return types.TypeString(recv, qualifierShort) + "." + sel.Sel.Name + " on a net connection", true
+		}
+	case "io":
+		if ioBlockingMethods[sel.Sel.Name] {
+			return types.TypeString(recv, qualifierShort) + "." + sel.Sel.Name, true
+		}
 	}
+	return "", false
 }
 
 // netBlockingMethods are the net connection methods that can block.
@@ -246,6 +370,17 @@ var netBlockingMethods = map[string]bool{
 	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
 	"ReadFromUDP": true, "WriteToUDP": true, "ReadMsgUDP": true,
 	"WriteMsgUDP": true, "Accept": true, "AcceptTCP": true,
+}
+
+// ioBlockingMethods are the io interface methods that can block (the
+// wire codec writes frames through io.Writer).
+var ioBlockingMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadByte": true, "WriteByte": true,
+}
+
+// ioBlockingFuncs are io package helpers that loop over Read/Write.
+var ioBlockingFuncs = map[string]bool{
+	"ReadFull": true, "ReadAll": true, "Copy": true, "CopyN": true, "ReadAtLeast": true,
 }
 
 // mutexOp recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock calls on

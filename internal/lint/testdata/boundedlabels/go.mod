@@ -1,0 +1,3 @@
+module bl
+
+go 1.24

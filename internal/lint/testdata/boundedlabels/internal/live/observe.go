@@ -1,0 +1,46 @@
+// Package live exercises boundedlabels at registry call sites.
+package live
+
+import (
+	"fmt"
+	"strconv"
+
+	"bl/internal/metrics"
+	"bl/internal/netaddr"
+	"bl/internal/packet"
+)
+
+// CountPacket mints one series per source address: positive.
+func CountPacket(r *metrics.Registry, p *packet.Packet) {
+	src := fmt.Sprintf("%d", p.SrcIP)
+	r.Counter("pkts", "src", src).Inc() // want:boundedlabels
+}
+
+// CountFlow mints one series per flow: positive (FiveTuple is banned by
+// name, and the value position is what gets flagged — "flow" is a key).
+func CountFlow(r *metrics.Registry, ft netaddr.FiveTuple) {
+	r.Counter("flows", "flow", fmt.Sprint(ft)).Inc() // want:boundedlabels
+}
+
+// HistogramFlow checks the bounds argument is skipped before the label
+// list: positive on the value derived from the packet.
+func HistogramFlow(r *metrics.Registry, p packet.Packet, lat float64) {
+	r.Histogram("lat", []float64{1, 10}, "proto", strconv.Itoa(int(p.Proto))).Inc() // want:boundedlabels
+}
+
+// CountNode labels by node id and a compile-time name: negative, the
+// cardinality is bounded by the topology.
+func CountNode(r *metrics.Registry, nodeID int) {
+	r.Counter("pkts", "node", strconv.Itoa(nodeID), "dir", "rx").Inc()
+}
+
+// CountDecision derives the label from the packet only through a
+// bounded enum-like mapping the analyzer cannot prove bounded — but the
+// raw field never flows in: negative.
+func CountDecision(r *metrics.Registry, dropped bool) {
+	verdict := "fwd"
+	if dropped {
+		verdict = "drop"
+	}
+	r.Counter("verdicts", "verdict", verdict).Inc()
+}

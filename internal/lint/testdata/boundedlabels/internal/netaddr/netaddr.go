@@ -1,0 +1,15 @@
+// Package netaddr contributes the named flow-identifying types the
+// boundedlabels table bans individually.
+package netaddr
+
+// FiveTuple identifies one flow.
+type FiveTuple struct {
+	Src, Dst     uint32
+	SPort, DPort uint16
+	Proto        uint8
+}
+
+// PortRange is a port interval.
+type PortRange struct {
+	Lo, Hi uint16
+}

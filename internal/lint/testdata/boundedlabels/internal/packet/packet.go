@@ -1,0 +1,10 @@
+// Package packet holds per-packet data; its import path suffix marks
+// every type here as unbounded for boundedlabels.
+package packet
+
+// Packet is one dataplane packet.
+type Packet struct {
+	SrcIP uint32
+	DstIP uint32
+	Proto uint8
+}

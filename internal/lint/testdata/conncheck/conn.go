@@ -1,0 +1,20 @@
+// Package cc exercises conncheck: dropped error results on
+// connection-like values.
+package cc
+
+import (
+	"net"
+	"os"
+)
+
+// Teardown drops Close errors: positives.
+func Teardown(c net.Conn, f *os.File) {
+	c.Close() // want:conncheck
+	f.Close() // want:conncheck
+}
+
+// TeardownChecked handles or explicitly discards the errors: negative.
+func TeardownChecked(c net.Conn, f *os.File) error {
+	_ = c.Close()
+	return f.Close()
+}

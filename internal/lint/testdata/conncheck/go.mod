@@ -1,0 +1,3 @@
+module cc
+
+go 1.24

@@ -1,0 +1,3 @@
+module gl
+
+go 1.24

@@ -1,0 +1,88 @@
+// Package live sits inside the goroutineleak guard (long-lived package
+// suffixes); each function is one scenario.
+package live
+
+import (
+	"context"
+	"time"
+)
+
+// Runner spawns background goroutines.
+type Runner struct {
+	done chan struct{}
+	work chan int
+}
+
+// StartLeaky loops forever with no stop signal: positive. The ticker
+// read does not count — timer channels are never closed.
+func (r *Runner) StartLeaky() {
+	tick := time.NewTicker(time.Second)
+	go func() { // want:goroutineleak
+		for {
+			<-tick.C
+		}
+	}()
+}
+
+// StartStoppable selects on the done channel: negative.
+func (r *Runner) StartStoppable() {
+	go func() {
+		for {
+			select {
+			case <-r.done:
+				return
+			case v := <-r.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartBounded runs to completion: negative (the exit is reachable).
+func (r *Runner) StartBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			r.work <- i
+		}
+	}()
+}
+
+// loop observes ctx.Done through a callee, which the depth-bounded
+// call-graph search finds: negative.
+func (r *Runner) loop(ctx context.Context) {
+	for {
+		if r.stopped(ctx) {
+			return
+		}
+	}
+}
+
+func (r *Runner) stopped(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// StartNamed spawns a named method whose stop path is one call down:
+// negative.
+func (r *Runner) StartNamed(ctx context.Context) {
+	go r.loop(ctx)
+}
+
+// spin loops forever with no stop path anywhere below it: positive even
+// through the named-function indirection.
+func (r *Runner) spin() {
+	for {
+		r.touch()
+	}
+}
+
+func (r *Runner) touch() {}
+
+// StartNamedLeaky spawns the leaky named method: positive.
+func (r *Runner) StartNamedLeaky() {
+	go r.spin() // want:goroutineleak
+}

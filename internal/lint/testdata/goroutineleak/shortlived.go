@@ -1,0 +1,12 @@
+// The module root is outside the guarded package list: a command-scoped
+// goroutine that lives until process exit is fine and must not be
+// flagged.
+package gl
+
+// Spin loops forever in a short-lived package: negative.
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}

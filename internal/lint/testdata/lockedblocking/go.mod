@@ -1,0 +1,3 @@
+module lb
+
+go 1.24

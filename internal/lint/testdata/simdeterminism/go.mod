@@ -1,0 +1,3 @@
+module sd
+
+go 1.24

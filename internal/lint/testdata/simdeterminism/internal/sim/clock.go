@@ -1,0 +1,20 @@
+// Package sim is inside the determinism guard: time must come from the
+// event clock and randomness from a seeded source.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wallclock reads real time and the global RNG: positives.
+func Wallclock() (int64, int) {
+	now := time.Now().UnixNano() // want:simdeterminism
+	n := rand.Intn(6)            // want:simdeterminism
+	return now, n
+}
+
+// Seeded draws from an owned, seeded source: negative.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

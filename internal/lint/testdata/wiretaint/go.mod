@@ -1,0 +1,3 @@
+module wt
+
+go 1.24

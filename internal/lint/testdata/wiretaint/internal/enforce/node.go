@@ -1,0 +1,26 @@
+// Package enforce is a stand-in for the real enforcement package: its
+// import path ends in internal/enforce, so wiretaint treats Install and
+// SetWeights as enforcement-state sinks.
+package enforce
+
+// Config is a node configuration.
+type Config struct {
+	Strategy int
+	Weights  map[int]float64
+}
+
+// Node is an enforcement point.
+type Node struct {
+	cfg Config
+}
+
+// Install applies a full configuration (wiretaint sink).
+func (n *Node) Install(cfg Config) error {
+	n.cfg = cfg
+	return nil
+}
+
+// SetWeights applies only weight vectors (wiretaint sink).
+func (n *Node) SetWeights(w map[int]float64) {
+	n.cfg.Weights = w
+}

@@ -161,6 +161,10 @@ func (a *Agent) connect() (net.Conn, error) {
 	}
 	a.writeMu.Lock()
 	a.conn = conn
+	// writeMu exists precisely to serialize frames on this conn; nothing
+	// else contends for it during the handshake, and a stuck peer is cut
+	// off by Close closing the conn, which fails the write.
+	//vet:ignore lockedblocking -- writeMu serializes frames on this conn by design
 	err = writeMsg(conn, TypeHello, Hello{
 		NodeID: int(a.dev.Node.ID),
 		Proxy:  a.dev.Node.IsProxy,
@@ -197,6 +201,10 @@ func (a *Agent) write(typ string, v interface{}) error {
 	if a.conn == nil {
 		return errors.New("mgmt: agent not connected")
 	}
+	// writeMu's whole job is holding writers back while a frame goes out;
+	// Close unblocks a stuck write by closing the conn under the mutex's
+	// own discipline.
+	//vet:ignore lockedblocking -- writeMu serializes frames on this conn by design
 	return writeMsg(a.conn, typ, v)
 }
 
@@ -274,6 +282,13 @@ func (a *Agent) handleConfig(data []byte) {
 	var dto ConfigDTO
 	if err := json.Unmarshal(data, &dto); err != nil {
 		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Error: "bad config: " + err.Error()})
+		return
+	}
+	// Trust boundary: nothing from the wire reaches the device before
+	// Validate passes (enforced by the wiretaint analyzer). An invalid
+	// push is refused whole via an error Ack, never half-applied.
+	if err := dto.Validate(); err != nil {
+		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch, Error: err.Error()})
 		return
 	}
 	// Epoch idempotence: a plan the device already runs (a reconnect

@@ -338,6 +338,9 @@ func (s *Server) pushOnce(node topo.NodeID, dto ConfigDTO, timeout time.Duration
 	}()
 
 	c.writeMu.Lock()
+	// writeMu serializes concurrent pushers' frames on this conn; a hung
+	// peer is bounded by the ack timeout whose expiry closes the conn.
+	//vet:ignore lockedblocking -- writeMu serializes frames on this conn by design
 	err := writeMsg(c.conn, TypeConfig, dto)
 	c.writeMu.Unlock()
 	if err != nil {
@@ -395,6 +398,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	// Trust boundary: an unvalidated hello must not register a
+	// connection (a negative node id would alias the map key space).
+	if err := hello.Validate(); err != nil {
+		_ = conn.Close()
+		return
+	}
 	c := &serverConn{
 		node:    topo.NodeID(hello.NodeID),
 		conn:    conn,
@@ -426,6 +435,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	// connected, pushes are guaranteed to route to this connection and
 	// not to a predecessor that is still draining its EOF.
 	c.writeMu.Lock()
+	// Same frame-serialization mutex as pushOnce; the handshake ack is
+	// the first frame out, nothing else holds writeMu yet.
+	//vet:ignore lockedblocking -- writeMu serializes frames on this conn by design
 	ackErr := writeMsg(conn, TypeHelloAck, Ack{})
 	c.writeMu.Unlock()
 	if ackErr != nil {
@@ -476,6 +488,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		case TypeMeasure:
 			var m Measure
 			if json.Unmarshal(env.Data, &m) != nil {
+				continue
+			}
+			// Trust boundary: a malformed report (negative counts) must
+			// not reach the solver's measurement matrix.
+			if m.Validate() != nil {
 				continue
 			}
 			s.smInc(func(mm *serverMetrics) *metrics.Counter { return mm.reports })
