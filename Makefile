@@ -29,13 +29,22 @@ fmt:
 	fi
 
 # Fault-injection suite under the race detector, twice: reconnect
-# storms, ack loss, wedged devices and the full recovery-convergence
-# schedule on both substrates. -count=2 defeats test caching and shakes
-# out order-dependent flakes.
+# storms, ack loss, wedged devices, epoch-fenced rollout and the full
+# recovery-convergence schedule on both substrates. -count=2 defeats test
+# caching and shakes out order-dependent flakes. The second block re-runs
+# the survivability experiments (local fast failover, controller
+# kill/restart) across a seed matrix so the acceptance claims hold beyond
+# one lucky seed.
+CHAOS_SEEDS ?= 7 23 41
 chaos:
 	$(GO) test -race -count=2 ./internal/faultinject/
-	$(GO) test -race -count=2 -run 'Chaos|Recovery|Reconnect|Wedge' \
+	$(GO) test -race -count=2 -run 'Chaos|Recovery|Reconnect|Wedge|TwoPhase' \
 		./internal/mgmt/ ./internal/live/ ./internal/experiments/
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "== chaos seed $$seed =="; \
+		SDME_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'Failover|Restart' \
+			./internal/experiments/ || exit 1; \
+	done
 
 # Fuzz smoke: every native fuzz target gets a short budget. The go tool
 # accepts exactly one -fuzz target per invocation, hence one line each.

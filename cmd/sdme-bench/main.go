@@ -176,6 +176,43 @@ func run() error {
 	fmt.Fprintf(md, "\n## Recovery convergence under the acceptance fault schedule\n\n%s", experiments.RecoveryMarkdown(recRes))
 	fmt.Printf("recovery: %d substrates -> %s (%v)\n", len(recRes), recPath, time.Since(start).Round(time.Millisecond))
 
+	start = time.Now()
+	var failRes []experiments.FailoverResult
+	var restRes []experiments.RestartResult
+	for _, runFO := range []func(experiments.FailoverConfig) (*experiments.FailoverResult, error){
+		experiments.RunSimFailover, experiments.RunLiveFailover,
+	} {
+		r, err := runFO(experiments.FailoverConfig{Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("failover: %w", err)
+		}
+		failRes = append(failRes, *r)
+	}
+	for _, runRS := range []func(experiments.RestartConfig) (*experiments.RestartResult, error){
+		experiments.RunSimRestart, experiments.RunLiveRestart,
+	} {
+		r, err := runRS(experiments.RestartConfig{Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("restart: %w", err)
+		}
+		restRes = append(restRes, *r)
+	}
+	foPath := filepath.Join(*out, "failover.csv")
+	ff, err := os.Create(foPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteSurvivabilityCSV(ff, failRes, restRes); err != nil {
+		_ = ff.Close()
+		return err
+	}
+	if err := ff.Close(); err != nil {
+		return fmt.Errorf("close failover.csv: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Local fast failover and controller restart\n\n%s", experiments.SurvivabilityMarkdown(failRes, restRes))
+	fmt.Printf("survivability: %d failover + %d restart runs -> %s (%v)\n",
+		len(failRes), len(restRes), foPath, time.Since(start).Round(time.Millisecond))
+
 	if *multiseed > 1 {
 		seeds := make([]int64, *multiseed)
 		for i := range seeds {

@@ -59,6 +59,8 @@ func run() error {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (empty: disabled)")
 	traceOneIn := flag.Uint64("trace-one-in", 1, "runtime packet tracing sample rate (1 = every flow, 0 = off)")
 	hold := flag.Duration("hold", 0, "keep serving the metrics endpoint this long after the demo")
+	journalPath := flag.String("journal", "", "controller write-ahead journal: replayed on start if present, appended during the run (empty: disabled)")
+	twophase := flag.Bool("twophase", true, "push the initial plan with the epoch-fenced prepare/commit protocol")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -83,9 +85,46 @@ func run() error {
 		K:              map[policy.FuncType]int{policy.FuncFW: 2, policy.FuncIDS: 1},
 		LabelSwitching: *labels,
 	})
+
+	// Crash recovery: an existing journal is replayed into the controller
+	// (failed set, weight plan, epoch high-water) before any plan is
+	// computed, then reopened for appending so this run's state survives
+	// the next restart.
+	var jst *controller.JournalState
+	if *journalPath != "" {
+		if _, err := os.Stat(*journalPath); err == nil {
+			st, err := controller.ReplayJournal(*journalPath)
+			if err != nil {
+				return err
+			}
+			if st.Records > 0 {
+				if err := ctl.RestoreFromJournal(st); err != nil {
+					return err
+				}
+				jst = st
+				fmt.Printf("journal: replayed %d records (epoch %d, %d failed middleboxes, torn tail: %v)\n",
+					st.Records, st.Epoch, len(st.Failed), st.Torn)
+			}
+		}
+		jrnl, err := controller.OpenJournal(*journalPath)
+		if err != nil {
+			return err
+		}
+		defer jrnl.Close()
+		if err := ctl.SetJournal(jrnl); err != nil {
+			return err
+		}
+	}
+
 	nodes, err := ctl.BuildNodes()
 	if err != nil {
 		return err
+	}
+	if jst != nil {
+		if sol := jst.RestoredSolution(); sol != nil {
+			controller.ApplyWeights(nodes, sol)
+			fmt.Printf("journal: reapplied recovered LB weight plan (λ=%.0f)\n", sol.Lambda)
+		}
 	}
 
 	// Management server: collects measurement reports as they arrive.
@@ -102,6 +141,9 @@ func run() error {
 		return err
 	}
 	defer server.Close()
+	if jst != nil {
+		server.ResumeEpoch(jst.Epoch)
+	}
 	fmt.Printf("controller management server on %s\n\n", server.Addr())
 
 	// Dataplane devices + their management agents.
@@ -159,18 +201,37 @@ func run() error {
 		return fmt.Errorf("agents failed to connect")
 	}
 
-	// Push every node's configuration over the wire. PushRetry rides the
-	// self-healing channel: a dropped connection or lost ack is retried
-	// with backoff, and each push carries a monotonic config epoch so a
-	// reconnecting agent applies it at most once.
+	// Push every node's configuration over the wire. The epoch-fenced
+	// prepare/commit batch guarantees the fleet never mixes plan
+	// generations: every node stages, then all flip atomically (a single
+	// refusal rolls the whole batch back). The plain path rides the same
+	// self-healing channel with per-node retries instead.
 	pushPol := mgmt.RetryPolicy{Attempts: 3, PerAttempt: 3 * time.Second, Backoff: 50 * time.Millisecond}
-	for id, n := range nodes {
-		if err := server.PushRetry(id, mgmt.ConfigToDTO(0, n.Config()), pushPol); err != nil {
+	if *twophase {
+		plans := make(map[topo.NodeID]mgmt.ConfigDTO, len(nodes))
+		for id, n := range nodes {
+			plans[id] = mgmt.ConfigToDTO(0, n.Config())
+		}
+		epoch, err := server.PushAll2PC(plans, pushPol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nconfiguration committed on %d nodes via prepare/commit (epoch %d)\n",
+			len(nodes), epoch)
+	} else {
+		for id, n := range nodes {
+			if err := server.PushRetry(id, mgmt.ConfigToDTO(0, n.Config()), pushPol); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("\nconfiguration pushed to %d nodes over the management channel (epoch %d)\n",
+			len(nodes), server.Epoch())
+	}
+	if j := ctl.Journal(); j != nil {
+		if err := j.LogEpoch(server.Epoch()); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("\nconfiguration pushed to %d nodes over the management channel (epoch %d)\n",
-		len(nodes), server.Epoch())
 
 	sink, err := rt.AddSink(topo.HostAddr(2, 1))
 	if err != nil {
@@ -237,12 +298,19 @@ func run() error {
 	fmt.Printf("\n§III-C loop closed: proxies reported %d packets, controller solved λ=%.0f\n",
 		sum(snapshot), sol.Lambda)
 	fmt.Println("and pushed fresh LB weights over the management channel.")
+	if j := ctl.Journal(); j != nil {
+		if err := j.LogEpoch(server.Epoch()); err != nil {
+			return err
+		}
+		recs, bytes := j.Stats()
+		fmt.Printf("journal: %d records (%d bytes) appended this run\n", recs, bytes)
+	}
 
 	fmt.Println("\nper-device dataplane counters:")
 	for id, dev := range devices {
 		c := dev.Counters()
-		fmt.Printf("  %-12s in=%-4d load=%-4d tunnelTx=%-4d labelTx=%-4d classif=%-3d controlTx=%d controlRx=%d\n",
-			g.Node(id).Name, c.PacketsIn, c.Load, c.TunnelTx, c.LabelTx, c.Classified, c.ControlTx, c.ControlRx)
+		fmt.Printf("  %-12s in=%-4d load=%-4d tunnelTx=%-4d labelTx=%-4d classif=%-3d controlTx=%d controlRx=%d failovers=%d invalidated=%d\n",
+			g.Node(id).Name, c.PacketsIn, c.Load, c.TunnelTx, c.LabelTx, c.Classified, c.ControlTx, c.ControlRx, c.Failovers, c.Invalidated)
 	}
 
 	// Management-channel health: on a clean loopback run every agent

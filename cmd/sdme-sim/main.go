@@ -31,6 +31,7 @@ import (
 	"sdme/internal/metrics"
 	"sdme/internal/netaddr"
 	"sdme/internal/ospf"
+	"sdme/internal/policy"
 	"sdme/internal/sim"
 	"sdme/internal/topo"
 )
@@ -65,6 +66,8 @@ func run() error {
 	packetLevel := flag.Bool("packet-level", false, "run the discrete-event simulator")
 	traceSpec := flag.String("trace", "", "trace one flow: srcSubnet:dstSubnet:dstPort (e.g. 1:2:80)")
 	metricsOut := flag.String("metrics", "", "packet-level mode: write the final metrics exposition to this file (\"-\" = stdout)")
+	killAt := flag.Int64("kill-at", 0, "packet-level mode: kill the first firewall middlebox at this virtual time (us) to exercise local fast failover (0: disabled)")
+	journalPath := flag.String("journal", "", "packet-level mode: controller write-ahead journal, replayed on start if present (empty: disabled)")
 	flag.Parse()
 
 	strategy, err := parseStrategy(*stratName)
@@ -82,10 +85,13 @@ func run() error {
 		*topoName, stats.Nodes, stats.Links, stats.Middleboxes, stats.Proxies)
 
 	if *packetLevel {
-		return runPacketLevel(bed, strategy, *traffic, *labels, *seed, *metricsOut)
+		return runPacketLevel(bed, strategy, *traffic, *labels, *seed, *metricsOut, *killAt, *journalPath)
 	}
 	if *metricsOut != "" {
 		return fmt.Errorf("-metrics requires -packet-level (the flow-level evaluator has no dataplane to observe)")
+	}
+	if *killAt != 0 || *journalPath != "" {
+		return fmt.Errorf("-kill-at and -journal require -packet-level")
 	}
 
 	demands := bed.GenerateDemands(*traffic)
@@ -171,7 +177,7 @@ func printLoads(bed *experiments.Bed, report *enforce.LoadReport) {
 	}
 }
 
-func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int, labels bool, seed int64, metricsOut string) error {
+func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int, labels bool, seed int64, metricsOut string, killAt int64, journalPath string) error {
 	// Packet-level simulation is detailed; cap the injected volume.
 	const maxPackets = 200000
 	if traffic > maxPackets {
@@ -182,6 +188,29 @@ func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int
 		Strategy: strategy, K: bed.Cfg.K,
 		LabelSwitching: labels, HashSeed: uint64(seed),
 	})
+	if journalPath != "" {
+		if _, err := os.Stat(journalPath); err == nil {
+			st, err := controller.ReplayJournal(journalPath)
+			if err != nil {
+				return err
+			}
+			if st.Records > 0 {
+				if err := ctl.RestoreFromJournal(st); err != nil {
+					return err
+				}
+				fmt.Printf("journal: replayed %d records (epoch %d, %d failed middleboxes, torn tail: %v)\n",
+					st.Records, st.Epoch, len(st.Failed), st.Torn)
+			}
+		}
+		jrnl, err := controller.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		defer jrnl.Close()
+		if err := ctl.SetJournal(jrnl); err != nil {
+			return err
+		}
+	}
 	nodes, err := ctl.BuildNodes()
 	if err != nil {
 		return err
@@ -206,6 +235,21 @@ func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int
 		}
 		controller.ApplyWeights(nodes, sol)
 	}
+	// Local fast failover demo: at the requested virtual time the first
+	// firewall dies. No controller reaction is scheduled — recovery must
+	// come entirely from the pre-installed backup candidate lists.
+	var victim topo.NodeID
+	if killAt > 0 {
+		fws := topo.SortedIDs(bed.Dep.Providers(policy.FuncFW))
+		if len(fws) < 2 {
+			return fmt.Errorf("-kill-at needs at least 2 FW middleboxes, have %d", len(fws))
+		}
+		victim = fws[0]
+		nw.Engine.After(killAt, func() { nw.SetNodeDown(victim, true) })
+		fmt.Printf("failover: %s dies at t=%dus (no controller involvement)\n",
+			bed.Graph.Node(victim).Name, killAt)
+	}
+
 	demands := bed.GenerateDemands(traffic)
 	at := int64(0)
 	for _, d := range demands {
@@ -220,6 +264,15 @@ func runPacketLevel(bed *experiments.Bed, strategy enforce.Strategy, traffic int
 		s.PacketsInjected, s.Delivered, s.ServedLocally, s.DroppedPolicy, s.PacketHops)
 	fmt.Printf("fragments=%d reassemblies=%d control=%d errors=%d\n",
 		s.FragmentsCreated, s.Reassemblies, s.ControlMessages, s.EnforcementErrors)
+	if killAt > 0 {
+		var failovers, invalidated int64
+		for _, n := range nodes {
+			failovers += n.Counters.Failovers
+			invalidated += n.Counters.Invalidated
+		}
+		fmt.Printf("failover: %d selections diverted to backups, %d soft-state entries purged after %s died\n",
+			failovers, invalidated, bed.Graph.Node(victim).Name)
+	}
 
 	loads := nw.MiddleboxLoads()
 	ids := make([]topo.NodeID, 0, len(loads))

@@ -94,6 +94,10 @@ type Controller struct {
 	metrics     *metricsRegistry
 	clock       clockFunc
 	lastWeights weightPlan
+
+	// journal is the optional write-ahead log (journal.go); nil unless
+	// SetJournal was called.
+	journal *Journal
 }
 
 // New creates a controller over a completed deployment (all middleboxes

@@ -1,7 +1,6 @@
 package controller
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -14,8 +13,10 @@ import (
 // via errors.Is: some network function has no live middlebox left, so
 // enforcement of that function is impossible until one recovers.
 // Recovery loops branch on it — it means "degrade and keep watching",
-// not "abort".
-var ErrNoLiveProvider = errors.New("no live provider")
+// not "abort". It aliases enforce.ErrNoLiveProvider so the dataplane's
+// local fast-failover exhaustion (enforce.NoLiveCandidateError) and the
+// controller's planning failure match the same sentinel.
+var ErrNoLiveProvider = enforce.ErrNoLiveProvider
 
 // NoLiveProviderError reports which function lost its last provider.
 type NoLiveProviderError struct {
@@ -62,7 +63,9 @@ func (c *Controller) MarkFailed(mb topo.NodeID, down bool) error {
 	}
 	// Invalidate cached assignments; they are recomputed on demand.
 	c.candidates = nil
-	return nil
+	// Write-ahead: the failed set must be durable before any repair plan
+	// derived from it reaches a node (journal.go).
+	return c.journalFailed()
 }
 
 // Failed returns the currently failed middleboxes in ID order.

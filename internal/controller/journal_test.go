@@ -1,0 +1,276 @@
+package controller_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sdme/internal/controller"
+	"sdme/internal/enforce"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+func journalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "ctl.wal")
+}
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	path := journalPath(t)
+	j, err := controller.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(controller.JournalFailed, controller.FailedRecord{Failed: []int{7, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	// A later failed-set supersedes the earlier one wholesale.
+	if err := j.Append(controller.JournalFailed, controller.FailedRecord{Failed: []int{9}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, bytes := j.Stats()
+	if recs != 4 || bytes == 0 {
+		t.Errorf("stats = %d records, %d bytes", recs, bytes)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+
+	st, err := controller.ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Torn {
+		t.Error("clean journal reported torn")
+	}
+	if st.Records != 4 {
+		t.Errorf("records = %d, want 4", st.Records)
+	}
+	if st.Epoch != 5 {
+		t.Errorf("epoch = %d, want high-water 5", st.Epoch)
+	}
+	if !reflect.DeepEqual(st.Failed, []topo.NodeID{9}) {
+		t.Errorf("failed = %v, want last-record-wins [9]", st.Failed)
+	}
+}
+
+func TestJournalEpochHighWaterIsMonotonic(t *testing.T) {
+	path := journalPath(t)
+	j, err := controller.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A restarted controller re-logging an older epoch (e.g. a replayed
+	// push racing a stale record) must not move the high-water back.
+	for _, e := range []uint64{4, 2, 3} {
+		if err := j.LogEpoch(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := controller.ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 4 {
+		t.Errorf("epoch = %d, want 4", st.Epoch)
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := journalPath(t)
+	j, err := controller.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second record starts right after the first: 8-byte header plus
+	// the BE payload length in the header's first word.
+	boundary := 8 + int(uint32(clean[0])<<24|uint32(clean[1])<<16|uint32(clean[2])<<8|uint32(clean[3]))
+	if boundary <= 8 || boundary >= len(clean) {
+		t.Fatalf("bad record boundary %d (file %d bytes)", boundary, len(clean))
+	}
+	// Crash mid-append: EVERY truncation point inside the last record —
+	// partial header or partial payload — must replay to the intact first
+	// record, flag the torn tail, and not error.
+	for cut := boundary; cut < len(clean); cut++ {
+		if err := os.WriteFile(path, clean[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := controller.ReplayJournal(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		wantTorn := cut != boundary // exact boundary is a clean EOF
+		if st.Records != 1 || st.Torn != wantTorn || st.Epoch != 1 {
+			t.Fatalf("cut at %d: records=%d torn=%v epoch=%d, want 1/%v/1",
+				cut, st.Records, st.Torn, st.Epoch, wantTorn)
+		}
+	}
+}
+
+func TestJournalCRCCorruptionStopsReplay(t *testing.T) {
+	path := journalPath(t)
+	j, err := controller.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the LAST record: its CRC fails, replay
+	// keeps the intact prefix.
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := controller.ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 1 || !st.Torn || st.Epoch != 1 {
+		t.Errorf("records=%d torn=%v epoch=%d, want 1/true/1", st.Records, st.Torn, st.Epoch)
+	}
+}
+
+func TestJournalAppendAfterCloseFails(t *testing.T) {
+	j, err := controller.OpenJournal(journalPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogEpoch(1); err == nil {
+		t.Error("append after close succeeded")
+	}
+}
+
+func TestRestoreFromJournalFingerprintGate(t *testing.T) {
+	b := newBed(t, 61, webPolicy)
+	ctl := controller.New(b.dep, b.ap, b.tbl, controller.Options{
+		Strategy: enforce.LoadBalanced,
+		K:        map[policy.FuncType]int{policy.FuncFW: 2, policy.FuncIDS: 2},
+	})
+	path := journalPath(t)
+	j, err := controller.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.SetJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	mb := b.dep.MBNodes[0]
+	if err := ctl.MarkFailed(mb, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := controller.ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint != ctl.Fingerprint() {
+		t.Fatal("journal fingerprint does not match the controller that wrote it")
+	}
+
+	// Same inputs → restore succeeds and reproduces the failed set.
+	twin := controller.New(b.dep, b.ap, b.tbl, controller.Options{
+		Strategy: enforce.LoadBalanced,
+		K:        map[policy.FuncType]int{policy.FuncFW: 2, policy.FuncIDS: 2},
+	})
+	if err := twin.RestoreFromJournal(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := twin.Failed(); len(got) != 1 || got[0] != mb {
+		t.Errorf("restored failed set = %v, want [%v]", got, mb)
+	}
+
+	// Different planning options → different fingerprint → refused.
+	other := controller.New(b.dep, b.ap, b.tbl, controller.Options{Strategy: enforce.HotPotato})
+	if err := other.RestoreFromJournal(st); err == nil {
+		t.Error("restore accepted a journal from a differently-configured controller")
+	}
+}
+
+func TestJournalRestoredSolutionRoundTrip(t *testing.T) {
+	b := newBed(t, 62, webPolicy)
+	ctl := controller.New(b.dep, b.ap, b.tbl, controller.Options{
+		Strategy: enforce.LoadBalanced,
+		K:        map[policy.FuncType]int{policy.FuncFW: 2, policy.FuncIDS: 2},
+	})
+	path := journalPath(t)
+	j, err := controller.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.SetJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	pid := b.tbl.All()[0].ID
+	sol, err := ctl.SolveLB(controller.Measurements{
+		{PolicyID: pid, SrcSubnet: 1, DstSubnet: 2}: 500,
+		{PolicyID: pid, SrcSubnet: 2, DstSubnet: 3}: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := controller.ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.RestoredSolution()
+	if got == nil {
+		t.Fatal("no solution restored")
+	}
+	if got.Lambda != sol.Lambda {
+		t.Errorf("lambda = %v, want %v", got.Lambda, sol.Lambda)
+	}
+	if !reflect.DeepEqual(got.Weights, sol.Weights) {
+		t.Errorf("weights diverged through the journal:\n%v\n%v", got.Weights, sol.Weights)
+	}
+
+	// A journal with no weights record restores a nil solution.
+	if (&controller.JournalState{}).RestoredSolution() != nil {
+		t.Error("empty state produced a solution")
+	}
+}

@@ -187,6 +187,10 @@ func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
 	if err := c.verifyPlan(sol.Weights); err != nil {
 		return nil, err
 	}
+	// Write-ahead: journal the plan before the caller can push it.
+	if err := c.journalWeights(sol); err != nil {
+		return nil, err
+	}
 	c.observeSolve(sol, startUS)
 	return sol, nil
 }

@@ -62,6 +62,7 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 	if err != nil {
 		return err
 	}
+	entry.Pin(next)
 	nextAddr := n.dep.AddrOf(next)
 
 	if n.cfg.LabelSwitching && entry.LabelSwitched && entry.Label != 0 {
@@ -138,10 +139,11 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 	// Label-table installation while the first packet traverses (§III-E).
 	lbl := pkt.Label()
 	nextFunc, hasNext := entry.Actions.Next(myFunc)
+	var lblEntry *flowtable.LabelEntry
 	if n.cfg.LabelSwitching && lbl != 0 {
 		k := flowtable.LabelKey{Src: ft.Src, Label: lbl}
 		if hasNext {
-			n.labels.Insert(k, entry.PolicyID, entry.Actions, ft, now)
+			lblEntry = n.labels.Insert(k, entry.PolicyID, entry.Actions, ft, now)
 		} else {
 			n.labels.InsertTail(k, entry.PolicyID, entry.Actions, ft, now)
 		}
@@ -174,6 +176,9 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 	next, err := n.SelectNext(entry.PolicyID, nextFunc, ft)
 	if err != nil {
 		return err
+	}
+	if lblEntry != nil {
+		lblEntry.Pin(next)
 	}
 	// Re-tunnel, preserving the proxy as outer source (§III-E).
 	if err := pkt.Encapsulate(outer.Src, n.dep.AddrOf(next)); err != nil {
@@ -234,6 +239,7 @@ func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error
 	if err != nil {
 		return err
 	}
+	entry.Pin(next)
 	pkt.Inner.Dst = n.dep.AddrOf(next)
 	n.Counters.LabelTx++
 	fwd.Send(n, pkt)

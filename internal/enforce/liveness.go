@@ -1,0 +1,128 @@
+package enforce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sdme/internal/flowtable"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// ErrNoLiveProvider reports that every candidate middlebox for a required
+// function is marked dead (or the candidate list is empty). It is the
+// sentinel for errors.Is; the concrete error carries the node and
+// function. controller.ErrNoLiveProvider aliases this value so both the
+// planning layer and the dataplane surface the same condition.
+var ErrNoLiveProvider = errors.New("no live provider")
+
+// NoLiveCandidateError is returned by SelectNext when local fast failover
+// exhausts the ranked candidate list without finding a live provider.
+type NoLiveCandidateError struct {
+	Node topo.NodeID
+	Func policy.FuncType
+}
+
+// Error renders the failure.
+func (e *NoLiveCandidateError) Error() string {
+	return fmt.Sprintf("enforce: node %v has no live candidate middlebox for %v", e.Node, e.Func)
+}
+
+// Is matches the ErrNoLiveProvider sentinel.
+func (e *NoLiveCandidateError) Is(target error) bool { return target == ErrNoLiveProvider }
+
+// liveView is a node's local picture of provider liveness, fed by the
+// simulator's SetNodeDown or the live runtime's HealthMonitor. It is the
+// one piece of Node state that may be written from outside the owning
+// goroutine (the health monitor probes concurrently), so it carries its
+// own lock; the atomic down-count keeps the all-alive fast path lock-free
+// on the per-packet selection path.
+type liveView struct {
+	downCount atomic.Int32
+	mu        sync.Mutex
+	dead      map[topo.NodeID]bool
+}
+
+func (v *liveView) set(id topo.NodeID, down bool) (changed bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.dead == nil {
+		v.dead = make(map[topo.NodeID]bool)
+	}
+	if v.dead[id] == down {
+		return false
+	}
+	if down {
+		v.dead[id] = true
+		v.downCount.Add(1)
+	} else {
+		delete(v.dead, id)
+		v.downCount.Add(-1)
+	}
+	return true
+}
+
+func (v *liveView) down(id topo.NodeID) bool {
+	if v.downCount.Load() == 0 {
+		return false
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.dead[id]
+}
+
+// SetProviderDown updates the node's liveness view for one provider. It
+// reports whether the state changed. Safe to call from any goroutine.
+func (n *Node) SetProviderDown(id topo.NodeID, down bool) bool {
+	return n.live.set(id, down)
+}
+
+// ProviderDown reports whether the node currently considers the provider
+// dead. Safe to call from any goroutine.
+func (n *Node) ProviderDown(id topo.NodeID) bool { return n.live.down(id) }
+
+// InvalidateProvider purges soft state riding the given (dead) middlebox:
+// flow entries pinned to it, label entries whose chain continues at it,
+// and — conservatively — label-switched flow entries whose action chain
+// crosses any function the middlebox provides (their pin records only the
+// first hop, but the dead box may sit mid-chain). Purged flows re-enter
+// the slow path: the next packet reclassifies, tunnels IP-over-IP, and
+// re-installs the chain through live backups. Must run on the node's
+// owner goroutine (it mutates the tables); returns the eviction count.
+func (n *Node) InvalidateProvider(mb topo.NodeID) int {
+	affected := make(map[policy.FuncType]bool)
+	for f, cands := range n.cfg.Candidates {
+		for _, c := range cands {
+			if c == mb {
+				affected[f] = true
+				break
+			}
+		}
+	}
+	total := 0
+	if n.flows != nil {
+		total += n.flows.InvalidateIf(func(e *flowtable.Entry) bool {
+			if e.Pinned && e.NextHop == mb {
+				return true
+			}
+			if e.Null || !e.LabelSwitched {
+				return false
+			}
+			for _, f := range e.Actions {
+				if affected[f] {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	if n.labels != nil {
+		total += n.labels.InvalidateIf(func(e *flowtable.LabelEntry) bool {
+			return e.Pinned && e.NextHop == mb
+		})
+	}
+	n.Counters.Invalidated += int64(total)
+	return total
+}

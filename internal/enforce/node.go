@@ -97,6 +97,10 @@ type Counters struct {
 	// Misdirected counts packets that arrived at a node that cannot
 	// serve them.
 	NoProvider, LabelMiss, Misdirected int64
+	// Failovers counts selections locally diverted from a dead provider
+	// to a live backup candidate (no controller round-trip involved);
+	// Invalidated counts soft-state entries purged by InvalidateProvider.
+	Failovers, Invalidated int64
 }
 
 // MeasKey identifies one traffic measurement bucket: packets of policy
@@ -125,6 +129,11 @@ type Node struct {
 	flows      *flowtable.Table
 	labels     *flowtable.LabelTable
 	meas       map[MeasKey]int64
+
+	// live is the node's provider-liveness view (liveness.go); unlike the
+	// rest of the node it is internally synchronized, because the live
+	// runtime's health monitor feeds it from its own goroutine.
+	live liveView
 
 	// nm / tracer are the optional observability attachments (observe.go);
 	// both are nil unless SetMetrics / SetTracer were called.
@@ -265,24 +274,47 @@ func (n *Node) ResetMeasurements() {
 // given flow, following the node's strategy. The flow tuple must be the
 // ORIGINAL flow 5-tuple (not a label-rewritten header), so the choice is
 // identical for every packet of the flow.
+//
+// When the strategy's pick is marked dead in the node's liveness view,
+// the selection deterministically fails over to the next live candidate
+// in the ranked (closest-first) list — the pre-installed backup set — so
+// flows resume without any controller round-trip. ErrNoLiveProvider
+// (via NoLiveCandidateError) surfaces when no live candidate remains.
 func (n *Node) SelectNext(policyID int, e policy.FuncType, flow netaddr.FiveTuple) (topo.NodeID, error) {
 	cands := n.cfg.Candidates[e]
 	if len(cands) == 0 {
 		n.Counters.NoProvider++
-		return topo.InvalidNode, fmt.Errorf("enforce: node %v has no candidate middlebox for %v", n.ID, e)
+		return topo.InvalidNode, &NoLiveCandidateError{Node: n.ID, Func: e}
 	}
+	var pick int
 	switch n.cfg.Strategy {
 	case HotPotato:
-		return cands[0], nil
+		pick = 0
 	case Random:
 		h := flow.Hash(n.hashSeed() ^ 0xa5a5a5a5a5a5a5a5)
-		return cands[h%uint64(len(cands))], nil
+		pick = int(h % uint64(len(cands)))
 	case LoadBalanced:
 		w := n.lookupWeights(policyID, e, flow)
-		return pickWeighted(cands, w, flow.Hash(n.hashSeed())), nil
+		pick = pickWeightedIdx(cands, w, flow.Hash(n.hashSeed()))
 	default:
 		return topo.InvalidNode, fmt.Errorf("enforce: node %v has no strategy installed", n.ID)
 	}
+	if !n.live.down(cands[pick]) {
+		return cands[pick], nil
+	}
+	// Local fast failover: scan the ranked list from the preferred pick.
+	for off := 1; off < len(cands); off++ {
+		alt := cands[(pick+off)%len(cands)]
+		if !n.live.down(alt) {
+			n.Counters.Failovers++
+			if n.nm != nil {
+				n.nm.failovers.Inc()
+			}
+			return alt, nil
+		}
+	}
+	n.Counters.NoProvider++
+	return topo.InvalidNode, &NoLiveCandidateError{Node: n.ID, Func: e}
 }
 
 // hashSeed salts the configured seed with this node's identity. The salt
@@ -324,8 +356,14 @@ func (n *Node) lookupWeights(policyID int, e policy.FuncType, flow netaddr.FiveT
 // hash value r in [0, N), candidate y_i is chosen when r/N falls in the
 // cumulative weight interval of y_i. Nil/zero weights degrade to uniform.
 func pickWeighted(cands []topo.NodeID, weights []float64, hash uint64) topo.NodeID {
+	return cands[pickWeightedIdx(cands, weights, hash)]
+}
+
+// pickWeightedIdx is pickWeighted returning the candidate's index, so the
+// failover scan can start from the strategy's preferred rank.
+func pickWeightedIdx(cands []topo.NodeID, weights []float64, hash uint64) int {
 	if len(cands) == 1 {
-		return cands[0]
+		return 0
 	}
 	var total float64
 	if len(weights) == len(cands) {
@@ -334,17 +372,17 @@ func pickWeighted(cands []topo.NodeID, weights []float64, hash uint64) topo.Node
 		}
 	}
 	if total <= 0 {
-		return cands[hash%uint64(len(cands))]
+		return int(hash % uint64(len(cands)))
 	}
 	// Map hash to [0, 1) with 53-bit precision.
 	r := float64(hash>>11) / float64(1<<53) * total
 	for i, w := range weights {
 		r -= w
 		if r < 0 {
-			return cands[i]
+			return i
 		}
 	}
-	return cands[len(cands)-1]
+	return len(cands) - 1
 }
 
 // classify resolves a flow against the node's relevant policy set P_x via

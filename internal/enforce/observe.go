@@ -19,6 +19,7 @@ const (
 	MetricFuncBytes  = "sdme_func_bytes_total"
 	MetricFuncDrops  = "sdme_func_drops_total"
 	MetricFuncServes = "sdme_func_serves_total"
+	MetricFailovers  = "sdme_node_failovers_total"
 )
 
 // funcMetrics caches one (node, func) series triple so the hot path
@@ -30,6 +31,7 @@ type funcMetrics struct {
 // nodeMetrics is a node's cached view into the registry.
 type nodeMetrics struct {
 	packetsIn *metrics.Counter
+	failovers *metrics.Counter
 	perFunc   map[policy.FuncType]*funcMetrics
 }
 
@@ -45,6 +47,7 @@ func (n *Node) SetMetrics(reg *metrics.Registry) {
 	node := strconv.Itoa(int(n.ID))
 	nm := &nodeMetrics{
 		packetsIn: reg.Counter(MetricPacketsIn, "node", node),
+		failovers: reg.Counter(MetricFailovers, "node", node),
 		perFunc:   make(map[policy.FuncType]*funcMetrics, len(n.Funcs)),
 	}
 	for f := range n.Funcs {

@@ -458,6 +458,12 @@ func RunLiveRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 			}
 		case faultinject.KindConnDrop:
 			server.DropConn(ev.Target)
+		case faultinject.KindPartition:
+			// A network partition between a node pair, seen from the
+			// controller: both ends lose their management connection at
+			// once. The agents' reconnect machinery heals both sides.
+			server.DropConn(ev.Target)
+			server.DropConn(topo.NodeID(ev.Param))
 		}
 	})
 	driver.Start()

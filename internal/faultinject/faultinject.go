@@ -54,6 +54,12 @@ const (
 	// KindAckLoss discards the next Param frames written on the node's
 	// fault-wrapped management connection (acks and measurement reports).
 	KindAckLoss
+	// KindPartition severs both directions between a node pair: Target and
+	// the peer named by Param each lose their connection to the other
+	// (live: both management conns dropped; sim: both nodes see the other
+	// as down). Schedule a second partition event with the same pair after
+	// the outage window to model healing, or rely on agent reconnects.
+	KindPartition
 )
 
 var kindNames = map[Kind]string{
@@ -64,6 +70,7 @@ var kindNames = map[Kind]string{
 	KindConnDrop:  "conn-drop",
 	KindConnDelay: "conn-delay",
 	KindAckLoss:   "ack-loss",
+	KindPartition: "partition",
 }
 
 var kindByName = func() map[string]Kind {
@@ -92,7 +99,8 @@ type Event struct {
 	Kind     Kind
 	Target   topo.NodeID
 	// Param carries the kind-specific argument: delay µs for
-	// KindConnDelay, frame count for KindAckLoss.
+	// KindConnDelay, frame count for KindAckLoss, the peer node ID for
+	// KindPartition.
 	Param int64
 }
 
@@ -136,6 +144,13 @@ func (s *Schedule) Validate() error {
 		case KindAckLoss:
 			if e.Param <= 0 {
 				return fmt.Errorf("faultinject: event %d: ack-loss needs param > 0 (frames to drop)", i)
+			}
+		case KindPartition:
+			if e.Param < 0 {
+				return fmt.Errorf("faultinject: event %d: partition needs param = peer node id", i)
+			}
+			if e.Param == int64(e.Target) {
+				return fmt.Errorf("faultinject: event %d: partition peer equals target %d", i, int(e.Target))
 			}
 		}
 	}

@@ -57,10 +57,37 @@ func TestParseRejectsMalformed(t *testing.T) {
 		"5ms ack-loss 3",       // ack-loss without frame count
 		"5ms crash 3 jitter=z", // bad jitter
 		"seed one\n5ms crash 3",
+		"5ms partition 3 param=3", // partition with itself
 	} {
 		if _, err := faultinject.Parse(strings.NewReader(bad)); err == nil {
 			t.Errorf("parse accepted %q", bad)
 		}
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	s, err := faultinject.Parse(strings.NewReader(`
+seed 7
+10ms partition 3 param=12
+40ms partition 3 param=12 jitter=5ms
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 2 {
+		t.Fatalf("events = %d", len(s.Events))
+	}
+	e := s.Events[0]
+	if e.Kind != faultinject.KindPartition || e.Target != topo.NodeID(3) || e.Param != 12 {
+		t.Errorf("partition event = %+v", e)
+	}
+	// Round-trips through the same text format as every other kind.
+	back, err := faultinject.Parse(strings.NewReader(s.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s.String())
+	}
+	if !reflect.DeepEqual(back.Events, s.Events) {
+		t.Errorf("round trip changed schedule:\n%+v\n%+v", s.Events, back.Events)
 	}
 }
 

@@ -19,6 +19,7 @@ package flowtable
 import (
 	"sdme/internal/netaddr"
 	"sdme/internal/policy"
+	"sdme/internal/topo"
 )
 
 // Entry is one flow-table record. Null entries cache "no policy matched".
@@ -33,13 +34,28 @@ type Entry struct {
 	// LabelSwitched is flipped when the tail middlebox's control packet
 	// arrives; from then on packets are label-switched, not tunneled.
 	LabelSwitched bool
-	lastHit       int64
+	// NextHop pins the middlebox this flow was last forwarded to (the
+	// chain's first hop at a proxy); Pinned reports whether it is set.
+	// Local fast failover uses the pin to purge flows riding a provider
+	// that has since died, instead of waiting for the TTL.
+	NextHop topo.NodeID
+	Pinned  bool
+	lastHit int64
+}
+
+// Pin records the provider the flow was steered to.
+func (e *Entry) Pin(mb topo.NodeID) {
+	e.NextHop = mb
+	e.Pinned = true
 }
 
 // Stats counts table activity; the §III-D ablation benchmark reads these.
 type Stats struct {
 	Hits, Misses, NullHits int
 	Inserted, Expired      int
+	// Invalidated counts entries purged by InvalidateProvider /
+	// InvalidateIf (failover purges, not TTL expiry).
+	Invalidated int
 }
 
 // Table is the flow hash table. Not safe for concurrent use; each node
@@ -140,6 +156,27 @@ func (t *Table) FlagLabelSwitched(ft netaddr.FiveTuple, now int64) bool {
 	return true
 }
 
+// InvalidateProvider purges every entry pinned to the given middlebox.
+// Called when a provider is detected dead so its flows re-establish via a
+// backup immediately instead of blackholing until TTL expiry.
+func (t *Table) InvalidateProvider(mb topo.NodeID) int {
+	return t.InvalidateIf(func(e *Entry) bool { return e.Pinned && e.NextHop == mb })
+}
+
+// InvalidateIf purges every entry matching the predicate and returns the
+// eviction count.
+func (t *Table) InvalidateIf(pred func(*Entry) bool) int {
+	n := 0
+	for ft, e := range t.entries {
+		if pred(e) {
+			delete(t.entries, ft)
+			n++
+		}
+	}
+	t.stats.Invalidated += n
+	return n
+}
+
 // Sweep removes all expired entries and returns how many it evicted;
 // nodes run it periodically so idle flows do not accumulate.
 func (t *Table) Sweep(now int64) int {
@@ -184,9 +221,20 @@ type LabelEntry struct {
 	// Dst is the flow's real destination, recorded only at the last
 	// middlebox of the chain (HasDst true) so it can restore the
 	// destination address before final forwarding.
-	Dst     netaddr.Addr
-	HasDst  bool
+	Dst    netaddr.Addr
+	HasDst bool
+	// NextHop pins the downstream middlebox the chain continues at
+	// (unset at the tail); Pinned reports whether it is set. See
+	// Entry.NextHop.
+	NextHop topo.NodeID
+	Pinned  bool
 	lastHit int64
+}
+
+// Pin records the downstream provider the chain continues at.
+func (e *LabelEntry) Pin(mb topo.NodeID) {
+	e.NextHop = mb
+	e.Pinned = true
 }
 
 // LabelTable is the per-middlebox label-switching table.
@@ -236,6 +284,28 @@ func (t *LabelTable) InsertTail(k LabelKey, policyID int, actions policy.ActionL
 	e.Dst = flow.Dst
 	e.HasDst = true
 	return e
+}
+
+// InvalidateProvider purges every label entry whose chain continues at
+// the given (dead) middlebox. Labeled packets forwarded toward a backup
+// would miss there anyway; purging lets the upstream state expire cleanly
+// while the proxy re-tunnels the flow.
+func (t *LabelTable) InvalidateProvider(mb topo.NodeID) int {
+	return t.InvalidateIf(func(e *LabelEntry) bool { return e.Pinned && e.NextHop == mb })
+}
+
+// InvalidateIf purges every label entry matching the predicate and
+// returns the eviction count.
+func (t *LabelTable) InvalidateIf(pred func(*LabelEntry) bool) int {
+	n := 0
+	for k, e := range t.entries {
+		if pred(e) {
+			delete(t.entries, k)
+			n++
+		}
+	}
+	t.stats.Invalidated += n
+	return n
 }
 
 // Sweep removes expired entries and returns the eviction count.

@@ -253,3 +253,78 @@ func BenchmarkLabelTableLookup(b *testing.B) {
 		}
 	}
 }
+
+func TestInvalidateProviderPurgesOnlyPinnedMatches(t *testing.T) {
+	tbl := NewTable(0)
+	tbl.Insert(ft(1), 1, actFWIDS, 0).Pin(5)
+	tbl.Insert(ft(2), 1, actFWIDS, 0).Pin(5)
+	tbl.Insert(ft(3), 1, actFWIDS, 0).Pin(6)
+	tbl.Insert(ft(4), 1, actFWIDS, 0) // never forwarded: unpinned
+	tbl.InsertNull(ft(5), 0)
+
+	if n := tbl.InvalidateProvider(5); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("len = %d, want 3", tbl.Len())
+	}
+	for _, gone := range []uint32{1, 2} {
+		if _, ok := tbl.Lookup(ft(gone), 0); ok {
+			t.Errorf("entry %d survived its provider's death", gone)
+		}
+	}
+	for _, kept := range []uint32{3, 4, 5} {
+		if _, ok := tbl.Lookup(ft(kept), 0); !ok {
+			t.Errorf("unrelated entry %d was purged", kept)
+		}
+	}
+	if tbl.Stats().Invalidated != 2 {
+		t.Errorf("stats = %+v", tbl.Stats())
+	}
+	// Repeat purge is a no-op.
+	if n := tbl.InvalidateProvider(5); n != 0 {
+		t.Errorf("second purge removed %d", n)
+	}
+}
+
+func TestInvalidateIfCustomPredicate(t *testing.T) {
+	tbl := NewTable(0)
+	a := tbl.Insert(ft(1), 1, actFWIDS, 0)
+	a.LabelSwitched = true
+	tbl.Insert(ft(2), 2, actFWIDS, 0)
+	if n := tbl.InvalidateIf(func(e *Entry) bool { return e.LabelSwitched }); n != 1 {
+		t.Fatalf("invalidated %d, want 1", n)
+	}
+	if _, ok := tbl.Lookup(ft(1), 0); ok {
+		t.Error("label-switched entry survived predicate purge")
+	}
+	if _, ok := tbl.Lookup(ft(2), 0); !ok {
+		t.Error("non-matching entry purged")
+	}
+}
+
+func TestLabelTableInvalidateProvider(t *testing.T) {
+	tbl := NewLabelTable(0)
+	k1 := LabelKey{Src: 10, Label: 1}
+	k2 := LabelKey{Src: 10, Label: 2}
+	k3 := LabelKey{Src: 11, Label: 1}
+	tbl.Insert(k1, 1, actFWIDS, ft(1), 0).Pin(7)
+	tbl.Insert(k2, 1, actFWIDS, ft(2), 0).Pin(8)
+	tbl.InsertTail(k3, 1, actFWIDS, ft(3), 0) // tail: unpinned
+
+	if n := tbl.InvalidateProvider(7); n != 1 {
+		t.Fatalf("invalidated %d, want 1", n)
+	}
+	if _, ok := tbl.Lookup(k1, 0); ok {
+		t.Error("entry chained through dead provider survived")
+	}
+	if _, ok := tbl.Lookup(k2, 0); !ok {
+		t.Error("entry chained through live provider purged")
+	}
+	if _, ok := tbl.Lookup(k3, 0); !ok {
+		t.Error("tail entry purged")
+	}
+	if tbl.Stats().Invalidated != 1 {
+		t.Errorf("stats = %+v", tbl.Stats())
+	}
+}

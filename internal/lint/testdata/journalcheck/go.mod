@@ -1,0 +1,3 @@
+module jc
+
+go 1.24

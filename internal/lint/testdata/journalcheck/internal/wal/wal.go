@@ -1,0 +1,93 @@
+// Package wal exercises the journal-write audit. A write-ahead log must
+// push every record to the file in exactly the order recovery will
+// replay them, so the write itself happens under the append mutex — the
+// one place a blocking call with a lock held is the contract rather than
+// a convoy bug. Such sites carry the //vet:ignore audit directive with a
+// reason; every unaudited blocking write under the lock is a finding,
+// including ones hidden behind a helper call.
+package wal
+
+import (
+	"io"
+	"sync"
+)
+
+// WAL is a minimal journal: a mutex serializing appends, a destination
+// writer, and a staging buffer for the convoy-free flush pattern.
+type WAL struct {
+	mu      sync.Mutex
+	w       io.Writer
+	staged  []byte
+	records int
+}
+
+// Append is the audited journal write: the directive records WHY the
+// blocking write is deliberate. Negative.
+func (l *WAL) Append(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//vet:ignore lockedblocking -- WAL contract: record order IS the recovery order, so writes serialize under the append mutex
+	if _, err := l.w.Write(rec); err != nil {
+		return err
+	}
+	l.records++
+	return nil
+}
+
+// writeOut performs the raw write (blocking, one frame below the lock
+// sites that call it).
+func (l *WAL) writeOut(rec []byte) error {
+	_, err := l.w.Write(rec)
+	return err
+}
+
+// AppendVia hides the blocking write behind a helper WITHOUT the audit
+// directive: positive, reported at the lock-holding call site.
+func (l *WAL) AppendVia(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeOut(rec) // want:lockedblocking
+}
+
+// AppendViaAudited is the same call chain with the audit directive:
+// negative.
+func (l *WAL) AppendViaAudited(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//vet:ignore lockedblocking -- audited: same serialized WAL append path as Append
+	return l.writeOut(rec)
+}
+
+// AppendRaw is an unannotated direct write under the mutex: positive.
+func (l *WAL) AppendRaw(rec []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.w.Write(rec) // want:lockedblocking
+	return err
+}
+
+// Stage buffers a record under the lock without touching the file: no
+// blocking operation, negative.
+func (l *WAL) Stage(rec []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.staged = append(l.staged, rec...)
+}
+
+// Flush swaps the staged buffer out under the lock and writes it after
+// releasing: the convoy-free alternative the analyzer must NOT flag.
+func (l *WAL) Flush() error {
+	l.mu.Lock()
+	buf := l.staged
+	l.staged = nil
+	l.mu.Unlock()
+	_, err := l.w.Write(buf)
+	return err
+}
+
+// Records reads the append count under the lock: negative.
+func (l *WAL) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}

@@ -1,0 +1,32 @@
+package live
+
+import (
+	"sdme/internal/enforce"
+	"sdme/internal/topo"
+)
+
+// SetProviderDown fans one provider's liveness state out to every
+// device's local view, enabling enforce.SelectNext's local fast failover
+// on the live substrate. The view write itself is internally
+// synchronized, so it takes effect immediately even on a busy or wedged
+// device; the soft-state purge (InvalidateProvider) mutates node tables
+// and therefore runs on each device's own loop goroutine, asynchronously
+// — a wedged device purges when it recovers, a stopped one never resumes
+// the dataplane, so both orderings are safe.
+//
+// The intended feeder is a HealthMonitor:
+//
+//	hm := rt.NewHealthMonitor(interval, misses,
+//	        func(id topo.NodeID) { rt.SetProviderDown(id, true) },
+//	        func(id topo.NodeID) { rt.SetProviderDown(id, false) })
+func (r *Runtime) SetProviderDown(id topo.NodeID, down bool) {
+	for _, d := range r.Devices() {
+		if d.Node.ID == id {
+			continue
+		}
+		if d.Node.SetProviderDown(id, down) && down {
+			dev := d
+			go dev.Do(func(n *enforce.Node) { n.InvalidateProvider(id) })
+		}
+	}
+}

@@ -69,6 +69,12 @@ type AgentStats struct {
 	StaleConfigs int64
 	// ReportsSent counts measurement reports shipped to the controller.
 	ReportsSent int64
+	// Prepared counts plans staged by a two-phase prepare.
+	Prepared int64
+	// Committed counts staged plans atomically applied on commit.
+	Committed int64
+	// Aborted counts staged plans discarded by an abort.
+	Aborted int64
 }
 
 // Agent is the device-side endpoint: it connects a live runtime device to
@@ -94,7 +100,16 @@ type Agent struct {
 	applies    atomic.Int64
 	stale      atomic.Int64
 	reports    atomic.Int64
+	prepared   atomic.Int64
+	committed  atomic.Int64
+	aborted    atomic.Int64
 	am         *agentMetrics // nil unless AgentOptions.Metrics was set
+
+	// stagedMu guards staged: the one prepared-but-uncommitted plan of the
+	// two-phase rollout (twophase.go). It survives reconnects — the commit
+	// may arrive on a different connection than the prepare did.
+	stagedMu sync.Mutex
+	staged   *stagedPlan
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -149,6 +164,9 @@ func (a *Agent) Stats() AgentStats {
 		Applies:      a.applies.Load(),
 		StaleConfigs: a.stale.Load(),
 		ReportsSent:  a.reports.Load(),
+		Prepared:     a.prepared.Load(),
+		Committed:    a.committed.Load(),
+		Aborted:      a.aborted.Load(),
 	}
 }
 
@@ -189,9 +207,21 @@ func (a *Agent) connect() (net.Conn, error) {
 		if env.T == TypeHelloAck {
 			return conn, nil
 		}
-		if env.T == TypeConfig {
-			a.handleConfig(env.Data)
-		}
+		a.dispatch(env)
+	}
+}
+
+// dispatch routes one server-originated message to its handler.
+func (a *Agent) dispatch(env *Envelope) {
+	switch env.T {
+	case TypeConfig:
+		a.handleConfig(env.Data)
+	case TypePrepare:
+		a.handlePrepare(env.Data)
+	case TypeCommit:
+		a.handleCommit(env.Data)
+	case TypeAbort:
+		a.handleAbort(env.Data)
 	}
 }
 
@@ -271,9 +301,7 @@ func (a *Agent) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if env.T == TypeConfig {
-			a.handleConfig(env.Data)
-		}
+		a.dispatch(env)
 	}
 }
 
@@ -302,36 +330,7 @@ func (a *Agent) handleConfig(data []byte) {
 		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch})
 		return
 	}
-	errStr := ""
-	if dto.WeightsOnly {
-		w := WeightsFromDTO(dto.Weights)
-		if !a.dev.Do(func(n *enforce.Node) { n.SetWeights(w) }) {
-			errStr = "device stopped"
-		}
-	} else {
-		cfg, err := ConfigFromDTO(dto)
-		if err != nil {
-			errStr = err.Error()
-		} else {
-			applied := a.dev.Do(func(n *enforce.Node) {
-				if ierr := n.Install(cfg); ierr != nil {
-					errStr = ierr.Error()
-				}
-			})
-			if !applied {
-				errStr = "device stopped"
-			}
-		}
-	}
-	if errStr == "" {
-		a.applies.Add(1)
-		if a.am != nil {
-			a.am.applies.Inc()
-		}
-		if dto.Epoch > a.epoch.Load() {
-			a.epoch.Store(dto.Epoch)
-		}
-	}
+	errStr := a.applyDTO(dto)
 	_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch, Error: errStr})
 }
 

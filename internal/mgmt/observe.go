@@ -18,17 +18,24 @@ const (
 	MetricAgentConnects   = "sdme_mgmt_agent_connects_total"
 	MetricReconnectRepush = "sdme_mgmt_reconnect_repush_total"
 	MetricMeasureReports  = "sdme_mgmt_measure_reports_total"
+	MetricPrepares        = "sdme_mgmt_prepares_total"
+	MetricCommits         = "sdme_mgmt_commits_total"
+	MetricRollbacks       = "sdme_mgmt_rollbacks_total"
 
 	MetricAgentReconnects   = "sdme_agent_reconnects_total"
 	MetricAgentApplies      = "sdme_agent_applies_total"
 	MetricAgentEpochRejects = "sdme_agent_epoch_rejects_total"
 	MetricAgentReports      = "sdme_agent_reports_total"
+	MetricAgentPrepares     = "sdme_agent_prepares_total"
+	MetricAgentCommits      = "sdme_agent_commits_total"
+	MetricAgentAborts       = "sdme_agent_aborts_total"
 )
 
 // serverMetrics caches the server's registry handles.
 type serverMetrics struct {
 	pushes, attempts, retries, failures, refused *metrics.Counter
 	connects, repush, reports                    *metrics.Counter
+	prepares, commits, rollbacks                 *metrics.Counter
 }
 
 // SetMetrics attaches a registry to the server. Safe to call while
@@ -39,14 +46,17 @@ func (s *Server) SetMetrics(reg *metrics.Registry) {
 		return
 	}
 	s.sm.Store(&serverMetrics{
-		pushes:   reg.Counter(MetricPushes),
-		attempts: reg.Counter(MetricPushAttempts),
-		retries:  reg.Counter(MetricPushRetries),
-		failures: reg.Counter(MetricPushFailures),
-		refused:  reg.Counter(MetricRefused),
-		connects: reg.Counter(MetricAgentConnects),
-		repush:   reg.Counter(MetricReconnectRepush),
-		reports:  reg.Counter(MetricMeasureReports),
+		pushes:    reg.Counter(MetricPushes),
+		attempts:  reg.Counter(MetricPushAttempts),
+		retries:   reg.Counter(MetricPushRetries),
+		failures:  reg.Counter(MetricPushFailures),
+		refused:   reg.Counter(MetricRefused),
+		connects:  reg.Counter(MetricAgentConnects),
+		repush:    reg.Counter(MetricReconnectRepush),
+		reports:   reg.Counter(MetricMeasureReports),
+		prepares:  reg.Counter(MetricPrepares),
+		commits:   reg.Counter(MetricCommits),
+		rollbacks: reg.Counter(MetricRollbacks),
 	})
 }
 
@@ -61,6 +71,7 @@ func (s *Server) smInc(sel func(*serverMetrics) *metrics.Counter) {
 // agentMetrics caches an agent's per-node registry handles.
 type agentMetrics struct {
 	reconnects, applies, epochRejects, reports *metrics.Counter
+	prepares, commits, aborts                  *metrics.Counter
 }
 
 func newAgentMetrics(reg *metrics.Registry, nodeID int) *agentMetrics {
@@ -73,6 +84,9 @@ func newAgentMetrics(reg *metrics.Registry, nodeID int) *agentMetrics {
 		applies:      reg.Counter(MetricAgentApplies, "node", node),
 		epochRejects: reg.Counter(MetricAgentEpochRejects, "node", node),
 		reports:      reg.Counter(MetricAgentReports, "node", node),
+		prepares:     reg.Counter(MetricAgentPrepares, "node", node),
+		commits:      reg.Counter(MetricAgentCommits, "node", node),
+		aborts:       reg.Counter(MetricAgentAborts, "node", node),
 	}
 }
 

@@ -217,6 +217,19 @@ func (s *Server) Epoch() uint64 {
 	return s.epoch
 }
 
+// ResumeEpoch fast-forwards the epoch counter to at least e — the
+// crash-recovery path: a controller restored from its journal resumes
+// numbering above every epoch it may have pushed before dying, so its
+// first post-restart plan is a fresh epoch the idempotent agents will
+// apply rather than discard as stale.
+func (s *Server) ResumeEpoch(e uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e > s.epoch {
+		s.epoch = e
+	}
+}
+
 // AckedEpoch returns the highest epoch a node has acknowledged.
 func (s *Server) AckedEpoch(node topo.NodeID) uint64 {
 	s.mu.Lock()
@@ -270,7 +283,20 @@ func (s *Server) PushRetry(node topo.NodeID, dto ConfigDTO, pol RetryPolicy) err
 	s.storeLatestLocked(node, dto)
 	s.mu.Unlock()
 	s.smInc(func(m *serverMetrics) *metrics.Counter { return m.pushes })
+	return s.callRetry(node, TypeConfig, func(seq uint64) interface{} {
+		dto.Seq = seq
+		return dto
+	}, pol, dto.Epoch)
+}
 
+// callRetry is the bounded-retry engine shared by config pushes and the
+// two-phase rollout messages: each attempt gets a fresh seq and its own
+// ack budget; transport errors retry with exponential backoff, an agent's
+// refusal returns immediately. recordEpoch, when non-zero, advances the
+// node's acked-epoch record on success (zero for prepare: a staged plan
+// is not a converged one).
+func (s *Server) callRetry(node topo.NodeID, typ string, mk func(seq uint64) interface{}, pol RetryPolicy, recordEpoch uint64) error {
+	pol = pol.fill()
 	var lastErr error
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
@@ -282,7 +308,7 @@ func (s *Server) PushRetry(node topo.NodeID, dto ConfigDTO, pol RetryPolicy) err
 			}
 		}
 		s.smInc(func(m *serverMetrics) *metrics.Counter { return m.attempts })
-		lastErr = s.pushOnce(node, dto, pol.PerAttempt)
+		lastErr = s.callOnce(node, typ, mk, pol.PerAttempt, recordEpoch)
 		if lastErr == nil {
 			return nil
 		}
@@ -312,9 +338,10 @@ func (s *Server) storeLatestLocked(node topo.NodeID, dto ConfigDTO) {
 	s.latest[node] = dto
 }
 
-// pushOnce is one wire attempt: assign a seq, send, wait for the ack,
-// the connection's death, or the timeout — whichever first.
-func (s *Server) pushOnce(node topo.NodeID, dto ConfigDTO, timeout time.Duration) error {
+// callOnce is one wire attempt: assign a seq, send, wait for the ack,
+// the connection's death, or the timeout — whichever first. mk builds
+// the payload around the assigned seq.
+func (s *Server) callOnce(node topo.NodeID, typ string, mk func(seq uint64) interface{}, timeout time.Duration, recordEpoch uint64) error {
 	s.mu.Lock()
 	c := s.conns[node]
 	if c == nil {
@@ -324,16 +351,16 @@ func (s *Server) pushOnce(node topo.NodeID, dto ConfigDTO, timeout time.Duration
 		return fmt.Errorf("mgmt: push to %v: %w", node, ErrNotConnected)
 	}
 	s.nextSeq++
-	dto.Seq = s.nextSeq
+	seq := s.nextSeq
 	s.mu.Unlock()
 
 	ackCh := make(chan Ack, 1)
 	c.ackMu.Lock()
-	c.pending[dto.Seq] = ackCh
+	c.pending[seq] = ackCh
 	c.ackMu.Unlock()
 	defer func() {
 		c.ackMu.Lock()
-		delete(c.pending, dto.Seq)
+		delete(c.pending, seq)
 		c.ackMu.Unlock()
 	}()
 
@@ -341,7 +368,7 @@ func (s *Server) pushOnce(node topo.NodeID, dto ConfigDTO, timeout time.Duration
 	// writeMu serializes concurrent pushers' frames on this conn; a hung
 	// peer is bounded by the ack timeout whose expiry closes the conn.
 	//vet:ignore lockedblocking -- writeMu serializes frames on this conn by design
-	err := writeMsg(c.conn, TypeConfig, dto)
+	err := writeMsg(c.conn, typ, mk(seq))
 	c.writeMu.Unlock()
 	if err != nil {
 		return fmt.Errorf("mgmt: push to %v: %w (%v)", node, ErrConnClosed, err)
@@ -353,7 +380,9 @@ func (s *Server) pushOnce(node topo.NodeID, dto ConfigDTO, timeout time.Duration
 		if ack.Error != "" {
 			return &RefusedError{Node: node, Reason: ack.Error}
 		}
-		s.recordAck(node, dto.Epoch)
+		if recordEpoch != 0 {
+			s.recordAck(node, recordEpoch)
+		}
 		return nil
 	case <-c.closed:
 		return fmt.Errorf("mgmt: push to %v: %w", node, ErrConnClosed)
@@ -481,8 +510,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Acks for unknown seqs are stale (a prior attempt timed out
 			// or its pusher gave up) and are dropped here; the epoch
 			// record still advances so convergence tracking survives an
-			// ack that outlives its waiter.
-			if ch == nil && ack.Error == "" && ack.Epoch != 0 {
+			// ack that outlives its waiter. Prepare acks are excluded: a
+			// staged plan is not an applied one.
+			if ch == nil && ack.Error == "" && ack.Epoch != 0 && !ack.Prepared {
 				s.recordAck(c.node, ack.Epoch)
 			}
 		case TypeMeasure:

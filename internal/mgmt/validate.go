@@ -97,6 +97,15 @@ func (w *WeightDTO) validate() error {
 	return nil
 }
 
+// Validate checks a two-phase commit/abort decision: it must name a real
+// epoch, or the agent cannot match it against its staged plan.
+func (c *Commit) Validate() error {
+	if c.Epoch == 0 {
+		return fmt.Errorf("mgmt: commit seq %d: zero epoch", c.Seq)
+	}
+	return nil
+}
+
 // Validate checks an agent handshake.
 func (h *Hello) Validate() error {
 	if h.NodeID < 0 {

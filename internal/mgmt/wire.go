@@ -44,6 +44,13 @@ const (
 	TypeConfig   = "config"
 	TypeAck      = "ack"
 	TypeMeasure  = "measure"
+	// TypePrepare / TypeCommit / TypeAbort are the epoch-fenced two-phase
+	// rollout (twophase.go): prepare carries a ConfigDTO the agent stages
+	// without applying; commit atomically flips the node to the staged
+	// plan; abort discards it after a prepare-quorum failure.
+	TypePrepare = "prepare"
+	TypeCommit  = "commit"
+	TypeAbort   = "abort"
 )
 
 // Hello announces an agent to the server. Epoch is the last
@@ -112,11 +119,22 @@ type ConfigDTO struct {
 
 // Ack confirms (or refuses) a config push. Epoch echoes the config's
 // epoch so the server's convergence record never regresses on a stale
-// ack arriving late.
+// ack arriving late. Prepared marks phase-1 acks of the two-phase
+// rollout: the plan is staged, not applied, so the server must not count
+// the epoch as converged off such an ack.
 type Ack struct {
+	Seq      uint64 `json:"seq"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Prepared bool   `json:"prepared,omitempty"`
+}
+
+// Commit is the phase-2 decision message of the two-phase rollout
+// (TypeCommit and TypeAbort): it names the staged epoch to flip to or
+// discard.
+type Commit struct {
 	Seq   uint64 `json:"seq"`
-	Epoch uint64 `json:"epoch,omitempty"`
-	Error string `json:"error,omitempty"`
+	Epoch uint64 `json:"epoch"`
 }
 
 // MeasureRow is one traffic measurement bucket (§III-C's T_{s,d,p}).
@@ -133,15 +151,36 @@ type Measure struct {
 	Rows   []MeasureRow `json:"rows"`
 }
 
-// writeMsg frames and writes one message.
-func writeMsg(w io.Writer, typ string, v interface{}) error {
+// EncodeEnvelope marshals a typed message into the envelope payload used
+// on the wire (the bytes after the length prefix). The controller's
+// write-ahead journal reuses it so journal records and wire messages
+// share one codec.
+func EncodeEnvelope(typ string, v interface{}) ([]byte, error) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		return fmt.Errorf("mgmt: marshal %s: %w", typ, err)
+		return nil, fmt.Errorf("mgmt: marshal %s: %w", typ, err)
 	}
 	env, err := json.Marshal(Envelope{T: typ, Data: data})
 	if err != nil {
-		return fmt.Errorf("mgmt: marshal envelope: %w", err)
+		return nil, fmt.Errorf("mgmt: marshal envelope: %w", err)
+	}
+	return env, nil
+}
+
+// DecodeEnvelope is EncodeEnvelope's inverse.
+func DecodeEnvelope(buf []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return nil, fmt.Errorf("mgmt: bad envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// writeMsg frames and writes one message.
+func writeMsg(w io.Writer, typ string, v interface{}) error {
+	env, err := EncodeEnvelope(typ, v)
+	if err != nil {
+		return err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(env)))
@@ -166,11 +205,7 @@ func readMsg(r io.Reader) (*Envelope, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	var env Envelope
-	if err := json.Unmarshal(buf, &env); err != nil {
-		return nil, fmt.Errorf("mgmt: bad envelope: %w", err)
-	}
-	return &env, nil
+	return DecodeEnvelope(buf)
 }
 
 // ConfigToDTO serializes an enforce.Config for the wire.

@@ -156,12 +156,26 @@ func (nw *Network) SetServiceRate(id topo.NodeID, pktsPerSec float64) {
 // toward it, exactly as a traditional network would, because routing
 // never knew about the middlebox in the first place (§II). Fault
 // schedules drive this from faultinject events.
+//
+// Every other node's liveness view is updated at the same time (the sim
+// analogue of the live runtime's health-monitor detection), so
+// enforce.SelectNext fails over locally to backup candidates — and on a
+// crash, soft state pinned to the dead device is purged immediately
+// (enforce.Node.InvalidateProvider) instead of blackholing until TTL.
 func (nw *Network) SetNodeDown(id topo.NodeID, down bool) {
 	if down {
 		nw.down[id] = true
-		return
+	} else {
+		delete(nw.down, id)
 	}
-	delete(nw.down, id)
+	for nid, n := range nw.nodes {
+		if nid == id {
+			continue
+		}
+		if n.SetProviderDown(id, down) && down {
+			n.InvalidateProvider(id)
+		}
+	}
 }
 
 // NodeDown reports whether a device is currently marked down.

@@ -1,0 +1,87 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"sdme/internal/enforce"
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+	"sdme/internal/verify"
+)
+
+func mkConfig(seed uint64) enforce.Config {
+	tbl := policy.NewTable()
+	d := policy.NewDescriptor()
+	d.DstPort = netaddr.SinglePort(80)
+	tbl.Add(d, policy.ActionList{policy.FuncFW})
+	return enforce.Config{
+		Policies: tbl.All(),
+		Strategy: enforce.HotPotato,
+		HashSeed: seed,
+	}
+}
+
+func TestConsistencyCleanFleet(t *testing.T) {
+	cfg := mkConfig(7)
+	views := map[topo.NodeID]verify.NodePlanView{
+		1: verify.ViewOf(3, cfg),
+		2: verify.ViewOf(3, cfg),
+		3: verify.ViewOf(3, cfg),
+	}
+	if vs := verify.CheckConsistency(views); len(vs) != 0 {
+		t.Fatalf("clean fleet flagged: %v", vs)
+	}
+}
+
+func TestConsistencyMixedEpochs(t *testing.T) {
+	cfg := mkConfig(7)
+	views := map[topo.NodeID]verify.NodePlanView{
+		1: verify.ViewOf(3, cfg),
+		2: verify.ViewOf(2, cfg), // laggard
+		3: verify.ViewOf(3, cfg),
+	}
+	vs := verify.CheckConsistency(views)
+	if len(vs) != 1 {
+		t.Fatalf("want 1 violation, got %v", vs)
+	}
+	if vs[0].Node != 2 || vs[0].Invariant != verify.InvConsistency {
+		t.Errorf("violation misattributed: %+v", vs[0])
+	}
+	if !strings.Contains(vs[0].Detail, "epoch 2") {
+		t.Errorf("detail does not name the stale epoch: %s", vs[0].Detail)
+	}
+}
+
+func TestConsistencyContentDivergenceAtSameEpoch(t *testing.T) {
+	// Same epoch, different hash seed and policy table: both flagged.
+	a := mkConfig(7)
+	b := mkConfig(8)
+	tbl := policy.NewTable()
+	d := policy.NewDescriptor()
+	d.DstPort = netaddr.SinglePort(443)
+	tbl.Add(d, policy.ActionList{policy.FuncIDS})
+	b.Policies = tbl.All()
+
+	views := map[topo.NodeID]verify.NodePlanView{
+		1: verify.ViewOf(5, a),
+		2: verify.ViewOf(5, b),
+	}
+	vs := verify.CheckConsistency(views)
+	if len(vs) != 2 {
+		t.Fatalf("want seed + policy violations, got %v", vs)
+	}
+	for _, v := range vs {
+		if v.Severity != verify.SevError {
+			t.Errorf("content divergence must be an error: %+v", v)
+		}
+	}
+}
+
+func TestConsistencySingleNodeTrivial(t *testing.T) {
+	views := map[topo.NodeID]verify.NodePlanView{1: verify.ViewOf(1, mkConfig(1))}
+	if vs := verify.CheckConsistency(views); vs != nil {
+		t.Fatalf("single node flagged: %v", vs)
+	}
+}
