@@ -33,17 +33,27 @@ fmt:
 # recovery-convergence schedule on both substrates. -count=2 defeats test
 # caching and shakes out order-dependent flakes. The second block re-runs
 # the survivability experiments (local fast failover, controller
-# kill/restart) across a seed matrix so the acceptance claims hold beyond
-# one lucky seed.
+# kill/restart, replicated-HA takeover) across a seed matrix so the
+# acceptance claims hold beyond one lucky seed. The third block is the
+# leader-kill matrix: every chaos seed crosses every -kill-leader-at
+# phase, so the assassination lands at different points of the lease
+# cycle (mid-heartbeat, mid-replication, right after a rollout).
 CHAOS_SEEDS ?= 7 23 41
+KILL_LEADER_AT ?= 150000 400000
 chaos:
 	$(GO) test -race -count=2 ./internal/faultinject/
 	$(GO) test -race -count=2 -run 'Chaos|Recovery|Reconnect|Wedge|TwoPhase' \
 		./internal/mgmt/ ./internal/live/ ./internal/experiments/
 	@for seed in $(CHAOS_SEEDS); do \
 		echo "== chaos seed $$seed =="; \
-		SDME_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'Failover|Restart' \
+		SDME_CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'Failover|Restart|HA' \
 			./internal/experiments/ || exit 1; \
+	done
+	@for seed in $(CHAOS_SEEDS); do \
+		for at in $(KILL_LEADER_AT); do \
+			echo "== leader kill: seed $$seed, t=$$at us =="; \
+			$(GO) run ./cmd/sdme-sim -controllers 3 -seed $$seed -kill-leader-at $$at || exit 1; \
+		done; \
 	done
 
 # Fuzz smoke: every native fuzz target gets a short budget. The go tool
@@ -54,6 +64,7 @@ fuzz:
 	$(GO) test ./internal/packet/ -run '^FuzzFragmentReassemble$$' -fuzz '^FuzzFragmentReassemble$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mgmt/ -run '^FuzzWire$$' -fuzz '^FuzzWire$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mgmt/ -run '^FuzzConfigDTO$$' -fuzz '^FuzzConfigDTO$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/controller/ -run '^FuzzJournalStream$$' -fuzz '^FuzzJournalStream$$' -fuzztime $(FUZZTIME)
 
 # Coverage profile across all packages, with the per-function summary's
 # total line printed at the end.

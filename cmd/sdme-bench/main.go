@@ -213,6 +213,27 @@ func run() error {
 	fmt.Printf("survivability: %d failover + %d restart runs -> %s (%v)\n",
 		len(failRes), len(restRes), foPath, time.Since(start).Round(time.Millisecond))
 
+	start = time.Now()
+	haRes, err := experiments.RunHAExperiments(experiments.HAConfig{Seed: *seed})
+	if err != nil {
+		return fmt.Errorf("controller HA: %w", err)
+	}
+	haPath := filepath.Join(*out, "ha.csv")
+	hf, err := os.Create(haPath)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteHACSV(hf, haRes); err != nil {
+		_ = hf.Close()
+		return err
+	}
+	if err := hf.Close(); err != nil {
+		return fmt.Errorf("close ha.csv: %w", err)
+	}
+	fmt.Fprintf(md, "\n## Replicated controller HA: fenced takeover\n\n%s", experiments.HAMarkdown(haRes))
+	fmt.Printf("controller HA: %d takeover runs -> %s (%v)\n",
+		len(haRes), haPath, time.Since(start).Round(time.Millisecond))
+
 	if *multiseed > 1 {
 		seeds := make([]int64, *multiseed)
 		for i := range seeds {

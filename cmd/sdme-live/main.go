@@ -14,7 +14,7 @@
 // Usage:
 //
 //	sdme-live [-seed 20] [-packets 10] [-labels=true]
-//	          [-metrics-addr 127.0.0.1:9090] [-hold 30s]
+//	          [-metrics-addr 127.0.0.1:9090] [-hold 30s] [-peers 3]
 //
 // With -metrics-addr the process serves the unified observability
 // surface over HTTP: Prometheus text exposition on /metrics (dataplane,
@@ -35,6 +35,7 @@ import (
 
 	"sdme/internal/controller"
 	"sdme/internal/enforce"
+	"sdme/internal/experiments"
 	"sdme/internal/live"
 	"sdme/internal/metrics"
 	"sdme/internal/mgmt"
@@ -61,7 +62,12 @@ func run() error {
 	hold := flag.Duration("hold", 0, "keep serving the metrics endpoint this long after the demo")
 	journalPath := flag.String("journal", "", "controller write-ahead journal: replayed on start if present, appended during the run (empty: disabled)")
 	twophase := flag.Bool("twophase", true, "push the initial plan with the epoch-fenced prepare/commit protocol")
+	peers := flag.Int("peers", 0, "controller replicas; >0 runs the replicated-HA takeover demo over real sockets instead of the single-controller demo")
 	flag.Parse()
+
+	if *peers > 0 {
+		return runLiveHA(*peers, *seed)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	g := topo.Campus(topo.CampusConfig{Gateways: 2, CoreRouters: 4, EdgeRouters: 2, WithProxies: true}, rng)
@@ -228,7 +234,7 @@ func run() error {
 			len(nodes), server.Epoch())
 	}
 	if j := ctl.Journal(); j != nil {
-		if err := j.LogEpoch(server.Epoch()); err != nil {
+		if err := j.LogEpoch(server.Epoch(), 0); err != nil {
 			return err
 		}
 	}
@@ -299,7 +305,7 @@ func run() error {
 		sum(snapshot), sol.Lambda)
 	fmt.Println("and pushed fresh LB weights over the management channel.")
 	if j := ctl.Journal(); j != nil {
-		if err := j.LogEpoch(server.Epoch()); err != nil {
+		if err := j.LogEpoch(server.Epoch(), 0); err != nil {
 			return err
 		}
 		recs, bytes := j.Stats()
@@ -361,6 +367,38 @@ func run() error {
 	if *metricsAddr != "" && *hold > 0 {
 		fmt.Printf("\nholding %v for metric scrapes...\n", *hold)
 		time.Sleep(*hold)
+	}
+	return nil
+}
+
+// runLiveHA runs the replicated-controller takeover scenario over real
+// sockets: N replicas elect a leader, the fleet converges on its plan,
+// the leader is partitioned away mid-run, and a standby takes over with
+// the agents re-homing via rotation and NotLeader redirects (DESIGN §11).
+func runLiveHA(peers int, seed int64) error {
+	fmt.Printf("replicated controller HA over real sockets: %d replicas, seed %d\n", peers, seed)
+	res, err := experiments.RunLiveHA(experiments.HAConfig{Seed: seed, Replicas: peers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("first leader: replica %d at term %d\n", res.FirstLeader, res.FirstTerm)
+	fmt.Printf("leader partitioned away; replica %d took over at term %d in %dus\n",
+		res.FinalLeader, res.FinalTerm, res.TakeoverMaxUS)
+	fmt.Printf("epochs: %d before -> %d after (resumed past the fenced high-water: %v)\n",
+		res.EpochBefore, res.EpochAfter, res.Resumed)
+	fmt.Printf("journal records replayed on takeover: %d\n", res.Records)
+	fmt.Printf("exported plan byte-identical across the takeover: %v\n", res.ExportIdentical)
+	fmt.Printf("fleet converged on the new leader's plan: %v\n", res.Converged)
+	fmt.Printf("stale-term pushes refused (deposed server self-gate + agent fence): %v\n", res.StaleRejected)
+	fmt.Printf("agent re-homing: %d reconnects, %d NotLeader redirects\n", res.Reconnects, res.Redirects)
+	avail := 1.0
+	if res.PushAttempts > 0 {
+		avail = 1 - float64(res.PushFailures)/float64(res.PushAttempts)
+	}
+	fmt.Printf("plan-push availability through the takeover: %.1f%% (%d of %d probes failed)\n",
+		100*avail, res.PushFailures, res.PushAttempts)
+	if !res.ExportIdentical || !res.StaleRejected || !res.Resumed || !res.Converged {
+		return fmt.Errorf("HA takeover degraded (see above)")
 	}
 	return nil
 }

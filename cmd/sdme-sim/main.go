@@ -6,6 +6,7 @@
 //	sdme-sim [-topology campus|waxman] [-strategy hp|rand|lb]
 //	         [-traffic 1000000] [-policies 10] [-seed 20] [-labels]
 //	         [-packet-level] [-metrics out.prom]
+//	         [-controllers 3 -kill-leader-at 200000 [-kill-leaders 1]]
 //
 // The default mode uses the fast flow-level evaluator (valid because the
 // dataplane pins each flow to one middlebox chain). -packet-level runs
@@ -68,7 +69,17 @@ func run() error {
 	metricsOut := flag.String("metrics", "", "packet-level mode: write the final metrics exposition to this file (\"-\" = stdout)")
 	killAt := flag.Int64("kill-at", 0, "packet-level mode: kill the first firewall middlebox at this virtual time (us) to exercise local fast failover (0: disabled)")
 	journalPath := flag.String("journal", "", "packet-level mode: controller write-ahead journal, replayed on start if present (empty: disabled)")
+	controllers := flag.Int("controllers", 1, "controller replicas; >1 runs the replicated-HA takeover scenario instead of a traffic experiment")
+	killLeaderAt := flag.Int64("kill-leader-at", 0, "HA mode: virtual us after the first rollout at which the elected leader is killed (0: 10 lease windows)")
+	killLeaders := flag.Int("kill-leaders", 1, "HA mode: how many consecutive leaders to assassinate")
 	flag.Parse()
+
+	if *controllers > 1 {
+		return runHATakeover(*controllers, *killLeaders, *killLeaderAt, *seed)
+	}
+	if *killLeaderAt != 0 {
+		return fmt.Errorf("-kill-leader-at requires -controllers > 1")
+	}
 
 	strategy, err := parseStrategy(*stratName)
 	if err != nil {
@@ -111,6 +122,41 @@ func run() error {
 	}
 	printLoads(bed, report)
 	fmt.Printf("average policy-enforced path cost: %.2f hops/packet\n", report.AvgPathCost())
+	return nil
+}
+
+// runHATakeover hosts N controller replicas on the virtual clock, kills
+// the elected leader(s) mid-history, and prints the takeover trace — the
+// replicated-HA scenario (DESIGN §11), deterministic per seed.
+func runHATakeover(replicas, kills int, killLeaderAtUS, seed int64) error {
+	res, err := experiments.RunSimHA(experiments.HAConfig{
+		Seed:      seed,
+		Replicas:  replicas,
+		Kills:     kills,
+		KillGapUS: killLeaderAtUS,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("controller HA: %d replicas, %d leader kill(s), seed %d\n", res.Replicas, res.Kills, res.Seed)
+	fmt.Printf("first leader: replica %d at term %d\n", res.FirstLeader, res.FirstTerm)
+	fmt.Printf("final leader: replica %d at term %d (worst takeover %dus)\n",
+		res.FinalLeader, res.FinalTerm, res.TakeoverMaxUS)
+	fmt.Printf("promotion trace: %s\n", res.Trace)
+	fmt.Printf("epochs: %d before -> %d after (resumed past the fenced high-water: %v)\n",
+		res.EpochBefore, res.EpochAfter, res.Resumed)
+	fmt.Printf("journal records replayed by the final takeover: %d\n", res.Records)
+	fmt.Printf("exported plan byte-identical across takeovers: %v\n", res.ExportIdentical)
+	fmt.Printf("stale-term output from the dead leader refused: %v\n", res.StaleRejected)
+	avail := 1.0
+	if res.PushAttempts > 0 {
+		avail = 1 - float64(res.PushFailures)/float64(res.PushAttempts)
+	}
+	fmt.Printf("plan-push availability: %.1f%% (%d of %d probe pushes failed during takeovers)\n",
+		100*avail, res.PushFailures, res.PushAttempts)
+	if !res.ExportIdentical || !res.StaleRejected || !res.Resumed {
+		return fmt.Errorf("HA takeover degraded (see above)")
+	}
 	return nil
 }
 

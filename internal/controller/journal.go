@@ -9,8 +9,10 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sdme/internal/enforce"
 	"sdme/internal/mgmt"
@@ -67,9 +69,13 @@ type FailedRecord struct {
 	Failed []int `json:"failed"`
 }
 
-// EpochRecord is the highest config epoch pushed so far.
+// EpochRecord is the highest config epoch pushed so far. Term, when
+// non-zero, names the election term the epoch was pushed under: a new
+// leader resumes numbering past the max term-fenced high-water mark it
+// replays, so post-takeover epochs never collide with the old leader's.
 type EpochRecord struct {
 	Epoch uint64 `json:"epoch"`
+	Term  uint64 `json:"term,omitempty"`
 }
 
 // NodeWeights is one node's weight vectors within a WeightsRecord.
@@ -88,17 +94,109 @@ type WeightsRecord struct {
 type Journal struct {
 	mu      sync.Mutex
 	f       *os.File
+	path    string
 	records int64
 	bytes   int64
+	// size is the absolute intact journal length on disk (existing records
+	// from earlier handles plus appends through this one) — the offset
+	// space the replication stream (replicate.go) addresses. Atomic so
+	// catch-up reads (ReadChunk) never contend with an Append blocked in
+	// its replication hook waiting for those very reads to finish.
+	size atomic.Int64
+	// runCRC is the running CRC-32 over the whole intact journal,
+	// advertised in leader heartbeats so standbys can detect a diverged
+	// prefix (DESIGN §11).
+	runCRC atomic.Uint32
+	// onAppend, when set, streams each durable record to the replicator
+	// under the append lock (offset is where the frame starts). A non-nil
+	// error fails the Append: a record the quorum refused must not be
+	// treated as logged.
+	onAppend func(offset int64, frame []byte) error
 }
 
-// OpenJournal opens (creating if needed) a journal for appending.
+// OpenJournal opens (creating if needed) a journal for appending. Any
+// torn tail (a partial record from a crash mid-append) is truncated
+// away so new appends extend the intact prefix rather than burying
+// themselves behind garbage replay would stop at. The parent directory
+// is fsynced after opening: without it a freshly created journal's
+// directory entry can vanish on host crash even though the file's own
+// appends were synced.
 func OpenJournal(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("controller: open journal: %w", err)
 	}
-	return &Journal{f: f}, nil
+	intact, records, crc, torn, err := scanFrames(path)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if torn {
+		if err := f.Truncate(intact); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("controller: truncate torn journal tail: %w", err)
+		}
+	}
+	if err := syncDir(path); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	_ = records
+	j := &Journal{f: f, path: path}
+	j.size.Store(intact)
+	j.runCRC.Store(uint32(crc))
+	return j, nil
+}
+
+// scanFrames walks a journal's framing (length + CRC only, no record
+// decoding) and returns the intact prefix length, the record count, the
+// running CRC-32 over the intact prefix, and whether a torn/corrupt
+// tail follows the prefix.
+func scanFrames(path string) (intact int64, records int64, crc uint32, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("controller: scan journal: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // read-only handle
+	var hdr [8]byte
+	for {
+		if _, rerr := io.ReadFull(f, hdr[:]); rerr != nil {
+			return intact, records, crc, rerr != io.EOF, nil
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if n == 0 || n > 16<<20 {
+			return intact, records, crc, true, nil
+		}
+		buf := make([]byte, n)
+		if _, rerr := io.ReadFull(f, buf); rerr != nil {
+			return intact, records, crc, true, nil
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			return intact, records, crc, true, nil
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, hdr[:])
+		crc = crc32.Update(crc, crc32.IEEETable, buf)
+		intact += int64(8 + n)
+		records++
+	}
+}
+
+// syncDir fsyncs a file's parent directory so the directory entry
+// itself is durable (creation and truncation both rewrite it).
+func syncDir(path string) error {
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("controller: open journal dir: %w", err)
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("controller: sync journal dir: %w", err)
+	}
+	return nil
 }
 
 // Close syncs and closes the journal file.
@@ -108,6 +206,7 @@ func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
+	//vet:ignore lockedblocking -- final fsync must serialize with in-flight appends on the same mutex
 	err := j.f.Sync()
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
@@ -141,9 +240,29 @@ func (j *Journal) Append(kind string, v interface{}) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("controller: journal sync: %w", err)
 	}
+	offset := j.size.Load()
 	j.records++
 	j.bytes += int64(len(buf))
+	j.size.Add(int64(len(buf)))
+	j.runCRC.Store(crc32.Update(j.runCRC.Load(), crc32.IEEETable, buf))
+	if j.onAppend != nil {
+		// Replication hook: the record is durable locally; it must now be
+		// durable on a quorum before the append is acknowledged upstream.
+		//vet:ignore lockedblocking -- WAL contract: quorum replication completes in record order, under the same append lock that defines that order
+		if err := j.onAppend(offset, buf); err != nil {
+			return fmt.Errorf("controller: journal replicate: %w", err)
+		}
+	}
 	return nil
+}
+
+// SetOnAppend installs the replication hook invoked (under the append
+// lock, after the local fsync) with each record's starting offset and
+// raw framed bytes. nil detaches. The hook's error fails the Append.
+func (j *Journal) SetOnAppend(fn func(offset int64, frame []byte) error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.onAppend = fn
 }
 
 // Stats reports records and bytes appended through this handle.
@@ -153,10 +272,52 @@ func (j *Journal) Stats() (records, bytes int64) {
 	return j.records, j.bytes
 }
 
-// LogEpoch records the epoch high-water after a successful push; callers
-// invoke it with mgmt.Server.Epoch() once a plan round lands.
-func (j *Journal) LogEpoch(epoch uint64) error {
-	return j.Append(JournalEpoch, EpochRecord{Epoch: epoch})
+// Size returns the absolute intact journal length on disk — the offset
+// space journal replication addresses.
+func (j *Journal) Size() int64 { return j.size.Load() }
+
+// CRC returns the running CRC-32 over the whole intact journal.
+func (j *Journal) CRC() uint32 { return j.runCRC.Load() }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// ReadChunk reads up to max raw bytes of intact journal starting at
+// offset — the leader side of standby catch-up. The returned slice ends
+// on a record boundary by construction (offsets only ever come from
+// Size / JournalAck values, which are sums of whole frames).
+func (j *Journal) ReadChunk(offset int64, max int) ([]byte, error) {
+	size, path := j.size.Load(), j.path
+	if path == "" {
+		return nil, errors.New("controller: journal has no path")
+	}
+	if offset < 0 || offset > size {
+		return nil, fmt.Errorf("controller: journal read offset %d out of range [0,%d]", offset, size)
+	}
+	n := size - offset
+	if n > int64(max) {
+		n = int64(max)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("controller: journal read: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // read-only handle
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		return nil, fmt.Errorf("controller: journal read at %d: %w", offset, err)
+	}
+	return buf, nil
+}
+
+// LogEpoch records the epoch high-water after a successful push, fenced
+// by the pushing leader's term (0 in single-controller deployments);
+// callers invoke it with mgmt.Server.Epoch() once a plan round lands.
+func (j *Journal) LogEpoch(epoch, term uint64) error {
+	return j.Append(JournalEpoch, EpochRecord{Epoch: epoch, Term: term})
 }
 
 // JournalState is the result of replaying a journal: the last intact
@@ -166,11 +327,18 @@ type JournalState struct {
 	Policies    []mgmt.PolicyDTO
 	Failed      []topo.NodeID
 	Epoch       uint64
-	Lambda      float64
-	Weights     map[topo.NodeID]map[enforce.WeightKey][]float64
-	// Records counts intact records replayed; Torn reports whether a
-	// partial tail record was discarded (a crash mid-append).
+	// Term is the highest election term any replayed epoch record was
+	// fenced with (0 = single-controller history). A takeover resumes
+	// epoch numbering past Epoch and term numbering past Term.
+	Term    uint64
+	Lambda  float64
+	Weights map[topo.NodeID]map[enforce.WeightKey][]float64
+	// Records counts intact records replayed; Bytes is the intact prefix
+	// length in bytes (the replication offset a standby resumes from);
+	// Torn reports whether a partial tail record was discarded (a crash
+	// mid-append).
 	Records int
+	Bytes   int64
 	Torn    bool
 }
 
@@ -215,6 +383,7 @@ func ReplayJournal(path string) (*JournalState, error) {
 			return nil, err
 		}
 		st.Records++
+		st.Bytes += int64(8 + n)
 	}
 }
 
@@ -249,6 +418,9 @@ func (st *JournalState) apply(env *mgmt.Envelope) error {
 		}
 		if r.Epoch > st.Epoch {
 			st.Epoch = r.Epoch
+		}
+		if r.Term > st.Term {
+			st.Term = r.Term
 		}
 	case JournalWeights:
 		var r WeightsRecord

@@ -26,10 +26,10 @@ func TestJournalAppendReplayRoundTrip(t *testing.T) {
 	if err := j.Append(controller.JournalFailed, controller.FailedRecord{Failed: []int{7, 9}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.LogEpoch(3); err != nil {
+	if err := j.LogEpoch(3, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.LogEpoch(5); err != nil {
+	if err := j.LogEpoch(5, 0); err != nil {
 		t.Fatal(err)
 	}
 	// A later failed-set supersedes the earlier one wholesale.
@@ -74,7 +74,7 @@ func TestJournalEpochHighWaterIsMonotonic(t *testing.T) {
 	// A restarted controller re-logging an older epoch (e.g. a replayed
 	// push racing a stale record) must not move the high-water back.
 	for _, e := range []uint64{4, 2, 3} {
-		if err := j.LogEpoch(e); err != nil {
+		if err := j.LogEpoch(e, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -96,10 +96,10 @@ func TestJournalTornTailTolerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.LogEpoch(1); err != nil {
+	if err := j.LogEpoch(1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.LogEpoch(2); err != nil {
+	if err := j.LogEpoch(2, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -140,10 +140,10 @@ func TestJournalCRCCorruptionStopsReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.LogEpoch(1); err != nil {
+	if err := j.LogEpoch(1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.LogEpoch(2); err != nil {
+	if err := j.LogEpoch(2, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Close(); err != nil {
@@ -176,7 +176,7 @@ func TestJournalAppendAfterCloseFails(t *testing.T) {
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.LogEpoch(1); err == nil {
+	if err := j.LogEpoch(1, 0); err == nil {
 		t.Error("append after close succeeded")
 	}
 }

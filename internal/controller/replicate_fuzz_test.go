@@ -1,0 +1,136 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mkFrame builds one on-disk journal frame around an arbitrary payload.
+func mkFrame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// realFrames appends a few records through the real Journal and returns
+// the file's bytes — genuine frames for the fuzz corpus.
+func realFrames(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	path := filepath.Join(dir, "seed.wal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.LogEpoch(1, 1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.LogEpoch(2, 1); err != nil {
+		tb.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzJournalStream hammers the standby catch-up decoder: whatever bytes
+// arrive, DecodeFrames must return a prefix of the input, re-decoding
+// that prefix must be error-free and lossless, and a StandbyJournal must
+// never persist a byte past the first corrupt frame.
+func FuzzJournalStream(f *testing.F) {
+	good := realFrames(f)
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:len(good)-3])            // torn tail
+	f.Add(append([]byte{0, 0}, good...)) // garbage header
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0xff
+	f.Add(flipped) // CRC mismatch in the last frame
+	env := []byte(`{"t":"journal","data":{}}`)
+	f.Add(append(mkFrame(env), mkFrame(env)...))
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge[:4], 1<<30)
+	f.Add(huge) // insane length field
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		intact, records, err := DecodeFrames(data)
+		if !bytes.HasPrefix(data, intact) {
+			t.Fatalf("intact %d bytes is not a prefix of the %d-byte input", len(intact), len(data))
+		}
+		if err == nil && len(intact) != len(data) {
+			t.Fatalf("nil error but only %d of %d bytes decoded", len(intact), len(data))
+		}
+		if err != nil && len(intact) == len(data) {
+			t.Fatalf("whole input decoded yet error %v", err)
+		}
+		again, records2, err2 := DecodeFrames(intact)
+		if err2 != nil || len(again) != len(intact) || records2 != records {
+			t.Fatalf("re-decoding the intact prefix failed: %v (%d/%d bytes, %d/%d records)",
+				err2, len(again), len(intact), records2, records)
+		}
+
+		// The standby journal must persist exactly the intact prefix —
+		// never a byte past the first bad CRC — and survive a reopen.
+		dir := t.TempDir()
+		sj, serr := OpenStandbyJournal(filepath.Join(dir, "standby.wal"))
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		n, aerr := sj.ApplyFrames(0, data)
+		if n != int64(len(intact)) {
+			t.Fatalf("ApplyFrames persisted %d bytes, intact prefix is %d", n, len(intact))
+		}
+		if err != nil && aerr == nil {
+			t.Fatalf("corrupt input applied without error")
+		}
+		if cerr := sj.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		sj2, serr := OpenStandbyJournal(filepath.Join(dir, "standby.wal"))
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		defer sj2.Close() //nolint:errcheck // read-only reopen
+		if sj2.Bytes() != int64(len(intact)) {
+			t.Fatalf("reopen found %d bytes, expected %d", sj2.Bytes(), len(intact))
+		}
+		if int(sj2.Records()) != records {
+			t.Fatalf("reopen found %d records, expected %d", sj2.Records(), records)
+		}
+	})
+}
+
+// TestDecodeFramesOffsetGap: a batch landing anywhere but the standby's
+// exact current length must be refused whole, even when perfectly valid.
+func TestDecodeFramesOffsetGap(t *testing.T) {
+	good := realFrames(t)
+	dir := t.TempDir()
+	sj, err := OpenStandbyJournal(filepath.Join(dir, "standby.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sj.Close() //nolint:errcheck // test cleanup
+	if _, err := sj.ApplyFrames(8, good); err == nil {
+		t.Fatal("gap offset accepted")
+	}
+	if sj.Bytes() != 0 {
+		t.Fatalf("gap batch persisted %d bytes", sj.Bytes())
+	}
+	if _, err := sj.ApplyFrames(0, good); err != nil {
+		t.Fatal(err)
+	}
+	if sj.Bytes() != int64(len(good)) {
+		t.Fatalf("valid batch persisted %d of %d bytes", sj.Bytes(), len(good))
+	}
+}

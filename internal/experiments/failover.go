@@ -543,7 +543,7 @@ func RunLiveRestart(cfg RestartConfig) (*RestartResult, error) {
 			return nil, fmt.Errorf("experiments: pre-kill push to %v: %w", id, err)
 		}
 	}
-	if err := jrnl.LogEpoch(server.Epoch()); err != nil {
+	if err := jrnl.LogEpoch(server.Epoch(), 0); err != nil {
 		server.Close()
 		return nil, err
 	}
@@ -614,7 +614,7 @@ func RunLiveRestart(cfg RestartConfig) (*RestartResult, error) {
 			}
 		}
 	}
-	if err := jrnl2.LogEpoch(server2.Epoch()); err != nil {
+	if err := jrnl2.LogEpoch(server2.Epoch(), 0); err != nil {
 		return nil, err
 	}
 	after, err := exportBytes(ctl2, sol2)

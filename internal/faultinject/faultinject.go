@@ -60,17 +60,23 @@ const (
 	// as down). Schedule a second partition event with the same pair after
 	// the outage window to model healing, or rely on agent reconnects.
 	KindPartition
+	// KindLeaderKill crashes whichever controller replica currently
+	// leads (Target is ignored — the leader is resolved at fire time).
+	// Drivers hosting a replicated controller group (experiments/ha.go)
+	// handle it; single-controller drivers treat it as a no-op.
+	KindLeaderKill
 )
 
 var kindNames = map[Kind]string{
-	KindCrash:     "crash",
-	KindRecover:   "recover",
-	KindWedge:     "wedge",
-	KindUnwedge:   "unwedge",
-	KindConnDrop:  "conn-drop",
-	KindConnDelay: "conn-delay",
-	KindAckLoss:   "ack-loss",
-	KindPartition: "partition",
+	KindCrash:      "crash",
+	KindRecover:    "recover",
+	KindWedge:      "wedge",
+	KindUnwedge:    "unwedge",
+	KindConnDrop:   "conn-drop",
+	KindConnDelay:  "conn-delay",
+	KindAckLoss:    "ack-loss",
+	KindPartition:  "partition",
+	KindLeaderKill: "leaderkill",
 }
 
 var kindByName = func() map[string]Kind {

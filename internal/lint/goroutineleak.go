@@ -36,6 +36,7 @@ var goroutineLeakPkgs = []string{
 	"/internal/live",
 	"/internal/sim",
 	"/internal/metrics",
+	"/internal/controller",
 }
 
 func runGoroutineLeak(pass *Pass) error {

@@ -361,6 +361,10 @@ func directBlockingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 		if ioBlockingMethods[sel.Sel.Name] {
 			return types.TypeString(recv, qualifierShort) + "." + sel.Sel.Name, true
 		}
+	case "os":
+		if isNamedIn(recv, "os", "File") && osFileBlockingMethods[sel.Sel.Name] {
+			return "os.File." + sel.Sel.Name, true
+		}
 	}
 	return "", false
 }
@@ -376,6 +380,14 @@ var netBlockingMethods = map[string]bool{
 // wire codec writes frames through io.Writer).
 var ioBlockingMethods = map[string]bool{
 	"Read": true, "Write": true, "ReadByte": true, "WriteByte": true,
+}
+
+// osFileBlockingMethods are the os.File operations that hit the disk:
+// an fsync can stall for seconds on a loaded device, so holding a mutex
+// across one is a convoy unless it IS the durability contract
+// (journal appends carry the audit directive for exactly that).
+var osFileBlockingMethods = map[string]bool{
+	"Sync": true, "Truncate": true,
 }
 
 // ioBlockingFuncs are io package helpers that loop over Read/Write.

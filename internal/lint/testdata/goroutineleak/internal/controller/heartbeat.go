@@ -1,0 +1,54 @@
+// Package controller sits inside the goroutineleak guard: a replicated
+// controller is the longest-lived process in the system, so a leaked
+// election or replication goroutine accumulates across every term.
+package controller
+
+import "time"
+
+// Replica spawns the background loops of one controller replica.
+type Replica struct {
+	stop    chan struct{}
+	frames  chan []byte
+	beatsTx int
+}
+
+// StartHeartbeatLeaky is the deliberately leaked heartbeat loop: it
+// beats forever on a ticker and nothing can ever stop it — a deposed or
+// closed replica would keep heartbeating until the process dies.
+// Positive.
+func (r *Replica) StartHeartbeatLeaky() {
+	tick := time.NewTicker(50 * time.Millisecond)
+	go func() { // want:goroutineleak
+		for {
+			<-tick.C
+			r.beatsTx++
+		}
+	}()
+}
+
+// StartHeartbeat is the correct shape: the same ticker loop, but every
+// iteration can observe the replica's stop channel. Negative.
+func (r *Replica) StartHeartbeat() {
+	tick := time.NewTicker(50 * time.Millisecond)
+	go func() {
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-tick.C:
+				r.beatsTx++
+			}
+		}
+	}()
+}
+
+// StartStreamer drains the replication frame channel; a close is its
+// stop signal. Negative.
+func (r *Replica) StartStreamer() {
+	go func() {
+		for f := range r.frames {
+			_ = f
+		}
+	}()
+}

@@ -9,6 +9,7 @@ package wal
 
 import (
 	"io"
+	"os"
 	"sync"
 )
 
@@ -90,4 +91,26 @@ func (l *WAL) Records() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.records
+}
+
+// Open models the durable-create path: a freshly created journal fsyncs
+// its PARENT DIRECTORY before any append, or the directory entry itself
+// can vanish on host crash even though the file's own writes were
+// synced (regression: controller.OpenJournal gained syncDir for exactly
+// this). The dir fsync happens before any lock exists — negative; a
+// variant that defers it under the append mutex is the convoy shape the
+// analyzer must still flag.
+func Open(dir *os.File, w io.Writer) (*WAL, error) {
+	if err := dir.Sync(); err != nil {
+		return nil, err
+	}
+	return &WAL{w: w}, nil
+}
+
+// SyncDirUnderLock is that variant: fsyncing the directory while
+// holding the append mutex without an audit directive. Positive.
+func (l *WAL) SyncDirUnderLock(dir *os.File) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return dir.Sync() // want:lockedblocking
 }

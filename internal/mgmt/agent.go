@@ -23,11 +23,25 @@ type AgentOptions struct {
 	// Dial overrides how the agent (re)connects; nil dials the server
 	// address over TCP. Fault-injection harnesses wrap it (see
 	// faultinject.ConnTap) to interpose a fault-carrying connection.
+	// When set, it wins over Addrs/DialAddr.
 	Dial func() (net.Conn, error)
+	// Addrs lists the controller replica addresses. The agent rotates
+	// through them on reconnect and follows a NotLeader redirect to the
+	// address it names, so it re-homes to whichever replica leads.
+	// Empty means the single address passed to NewAgentWith.
+	Addrs []string
+	// DialAddr overrides how one specific address is dialed (nil = TCP).
+	DialAddr func(addr string) (net.Conn, error)
 	// BackoffMin/BackoffMax bound the jittered exponential reconnect
 	// backoff (defaults 10ms and 2s). Each failed dial doubles the base
 	// delay; the actual sleep is uniformly drawn from [base/2, base].
 	BackoffMin, BackoffMax time.Duration
+	// HealthyPeriod is how long a connection must survive before the
+	// reconnect backoff resets to BackoffMin (default BackoffMax). A
+	// flapping link — connects that die immediately — keeps the grown
+	// backoff, so reconnect storms stay bounded; only a genuinely
+	// healthy spell earns the fast retry back.
+	HealthyPeriod time.Duration
 	// Seed drives the backoff jitter (default: the device's node ID, so
 	// a fleet of agents created together de-synchronizes its retries
 	// deterministically).
@@ -41,8 +55,11 @@ type AgentOptions struct {
 }
 
 func (o *AgentOptions) fill(dev *live.Device, serverAddr string) {
-	if o.Dial == nil {
-		o.Dial = func() (net.Conn, error) { return net.Dial("tcp", serverAddr) }
+	if len(o.Addrs) == 0 {
+		o.Addrs = []string{serverAddr}
+	}
+	if o.DialAddr == nil {
+		o.DialAddr = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	if o.BackoffMin <= 0 {
 		o.BackoffMin = 10 * time.Millisecond
@@ -52,6 +69,9 @@ func (o *AgentOptions) fill(dev *live.Device, serverAddr string) {
 	}
 	if o.BackoffMax < o.BackoffMin {
 		o.BackoffMax = o.BackoffMin
+	}
+	if o.HealthyPeriod <= 0 {
+		o.HealthyPeriod = o.BackoffMax
 	}
 	if o.Seed == 0 {
 		o.Seed = int64(dev.Node.ID) + 1
@@ -75,6 +95,11 @@ type AgentStats struct {
 	Committed int64
 	// Aborted counts staged plans discarded by an abort.
 	Aborted int64
+	// StaleTerms counts plans refused because their leadership term was
+	// older than one already seen — pushes from a deposed controller.
+	StaleTerms int64
+	// Redirects counts NotLeader bounces followed to another replica.
+	Redirects int64
 }
 
 // Agent is the device-side endpoint: it connects a live runtime device to
@@ -96,14 +121,22 @@ type Agent struct {
 	conn    net.Conn
 
 	epoch      atomic.Uint64 // last applied config epoch
+	term       atomic.Uint64 // highest leadership term seen on any push
 	reconnects atomic.Int64
 	applies    atomic.Int64
 	stale      atomic.Int64
+	staleTerms atomic.Int64
+	redirects  atomic.Int64
 	reports    atomic.Int64
 	prepared   atomic.Int64
 	committed  atomic.Int64
 	aborted    atomic.Int64
 	am         *agentMetrics // nil unless AgentOptions.Metrics was set
+
+	// addrMu guards the replica-address rotation: which of opts.Addrs
+	// the next dial targets.
+	addrMu  sync.Mutex
+	addrIdx int
 
 	// stagedMu guards staged: the one prepared-but-uncommitted plan of the
 	// two-phase rollout (twophase.go). It survives reconnects — the commit
@@ -124,15 +157,24 @@ func NewAgent(dev *live.Device, serverAddr string, reportEvery time.Duration) (*
 }
 
 // NewAgentWith is NewAgent with explicit options. The initial dial is
-// synchronous — a server that is down at startup is an error; only
-// connections lost after a successful start heal automatically.
+// synchronous — a fleet with every replica down at startup is an error;
+// only connections lost after a successful start heal automatically.
+// With multiple Addrs, each replica is tried once (following one
+// NotLeader redirect per try) before giving up.
 func NewAgentWith(dev *live.Device, serverAddr string, opts AgentOptions) (*Agent, error) {
 	opts.fill(dev, serverAddr)
 	a := &Agent{dev: dev, opts: opts, stop: make(chan struct{})}
 	a.am = newAgentMetrics(opts.Metrics, int(dev.Node.ID))
-	conn, err := a.connect()
+	var conn net.Conn
+	var err error
+	for try := 0; try < 2*len(opts.Addrs); try++ {
+		conn, err = a.connect()
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("mgmt: dial %s: %w", serverAddr, err)
+		return nil, fmt.Errorf("mgmt: dial %v: %w", opts.Addrs, err)
 	}
 	a.wg.Add(1)
 	go a.run(conn)
@@ -167,14 +209,58 @@ func (a *Agent) Stats() AgentStats {
 		Prepared:     a.prepared.Load(),
 		Committed:    a.committed.Load(),
 		Aborted:      a.aborted.Load(),
+		StaleTerms:   a.staleTerms.Load(),
+		Redirects:    a.redirects.Load(),
 	}
 }
 
-// connect dials and performs the HELLO handshake, installing the new
-// connection as current.
+// LastTerm returns the highest leadership term the agent has seen.
+func (a *Agent) LastTerm() uint64 { return a.term.Load() }
+
+// currentAddr returns the replica address the next dial targets.
+func (a *Agent) currentAddr() string {
+	a.addrMu.Lock()
+	defer a.addrMu.Unlock()
+	return a.opts.Addrs[a.addrIdx]
+}
+
+// rotateAddr advances the rotation after a failed dial, so consecutive
+// reconnect attempts walk the replica set instead of hammering one.
+func (a *Agent) rotateAddr() {
+	a.addrMu.Lock()
+	a.addrIdx = (a.addrIdx + 1) % len(a.opts.Addrs)
+	a.addrMu.Unlock()
+}
+
+// followRedirect re-homes the rotation to the address a NotLeader
+// bounce named; an empty or unknown address just rotates.
+func (a *Agent) followRedirect(addr string) {
+	a.addrMu.Lock()
+	defer a.addrMu.Unlock()
+	if addr != "" {
+		for i, s := range a.opts.Addrs {
+			if s == addr {
+				a.addrIdx = i
+				return
+			}
+		}
+	}
+	a.addrIdx = (a.addrIdx + 1) % len(a.opts.Addrs)
+}
+
+// connect dials the current replica and performs the HELLO handshake,
+// installing the new connection as current. A failed dial or a
+// NotLeader bounce advances the replica rotation for the next attempt.
 func (a *Agent) connect() (net.Conn, error) {
-	conn, err := a.opts.Dial()
+	var conn net.Conn
+	var err error
+	if a.opts.Dial != nil {
+		conn, err = a.opts.Dial()
+	} else {
+		conn, err = a.opts.DialAddr(a.currentAddr())
+	}
 	if err != nil {
+		a.rotateAddr()
 		return nil, err
 	}
 	a.writeMu.Lock()
@@ -204,10 +290,27 @@ func (a *Agent) connect() (net.Conn, error) {
 			_ = conn.Close()
 			return nil, err
 		}
-		if env.T == TypeHelloAck {
+		switch env.T {
+		case TypeHelloAck:
 			return conn, nil
+		case TypeNotLeader:
+			// A standby bounced us: re-home to the leader it names (or
+			// the next replica in the rotation) and redial.
+			var nl NotLeader
+			if json.Unmarshal(env.Data, &nl) == nil && nl.Validate() == nil {
+				a.redirects.Add(1)
+				if a.am != nil {
+					a.am.redirects.Inc()
+				}
+				a.followRedirect(nl.LeaderAddr)
+			} else {
+				a.rotateAddr()
+			}
+			_ = conn.Close()
+			return nil, fmt.Errorf("mgmt: replica is not the leader (redirect %q)", nl.LeaderAddr)
+		default:
+			a.dispatch(env)
 		}
-		a.dispatch(env)
 	}
 }
 
@@ -240,10 +343,18 @@ func (a *Agent) write(typ string, v interface{}) error {
 
 // run owns the connection lifecycle: serve the current connection until
 // it dies, then redial with jittered exponential backoff and re-HELLO.
+//
+// The backoff persists ACROSS connections: a link that flaps — dials
+// that succeed but die before HealthyPeriod — keeps the grown delay, so
+// a wedged replica or a dying leader never sees an unbounded reconnect
+// storm. Only a connection that survives HealthyPeriod earns the reset
+// to BackoffMin (nextBackoffBase, unit-tested in isolation).
 func (a *Agent) run(conn net.Conn) {
 	defer a.wg.Done()
 	rng := rand.New(rand.NewSource(a.opts.Seed))
+	backoff := a.opts.BackoffMin
 	for {
+		connectedAt := time.Now()
 		a.readLoop(conn)
 		_ = conn.Close()
 		select {
@@ -252,7 +363,7 @@ func (a *Agent) run(conn net.Conn) {
 		default:
 		}
 
-		backoff := a.opts.BackoffMin
+		backoff = a.opts.nextBackoffBase(backoff, time.Since(connectedAt))
 		attempts := 0
 		for {
 			// Uniform jitter in [backoff/2, backoff]: agents that lost
@@ -294,6 +405,22 @@ func (a *Agent) run(conn net.Conn) {
 	}
 }
 
+// nextBackoffBase decides the reconnect backoff after a connection
+// died: a connection that survived HealthyPeriod resets to BackoffMin,
+// a shorter-lived one (a flap) keeps the previous grown delay.
+func (o *AgentOptions) nextBackoffBase(prev, connLife time.Duration) time.Duration {
+	if connLife >= o.HealthyPeriod {
+		return o.BackoffMin
+	}
+	if prev < o.BackoffMin {
+		return o.BackoffMin
+	}
+	if prev > o.BackoffMax {
+		return o.BackoffMax
+	}
+	return prev
+}
+
 // readLoop serves one connection until it dies.
 func (a *Agent) readLoop(conn net.Conn) {
 	for {
@@ -302,6 +429,31 @@ func (a *Agent) readLoop(conn net.Conn) {
 			return
 		}
 		a.dispatch(env)
+	}
+}
+
+// fenceTerm folds a pushed plan's leadership term into the agent's
+// high-water mark. It returns a non-empty refusal reason when the term
+// is older than one already seen: the pusher is a deposed leader, and
+// its plan must be refused outright — NOT acked idempotently — so the
+// stale controller learns it lost (split-brain fencing, DESIGN §11).
+// Term 0 (a standalone, non-replicated controller) is never fenced.
+func (a *Agent) fenceTerm(term uint64) string {
+	if term == 0 {
+		return ""
+	}
+	for {
+		cur := a.term.Load()
+		if term < cur {
+			a.staleTerms.Add(1)
+			if a.am != nil {
+				a.am.termRejects.Inc()
+			}
+			return fmt.Sprintf("stale term %d (current %d)", term, cur)
+		}
+		if term == cur || a.term.CompareAndSwap(cur, term) {
+			return ""
+		}
 	}
 }
 
@@ -317,6 +469,12 @@ func (a *Agent) handleConfig(data []byte) {
 	// push is refused whole via an error Ack, never half-applied.
 	if err := dto.Validate(); err != nil {
 		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch, Error: err.Error()})
+		return
+	}
+	// Term fencing comes BEFORE epoch idempotence: a deposed leader
+	// re-pushing an old epoch must be refused, not idempotently acked.
+	if reason := a.fenceTerm(dto.Term); reason != "" {
+		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch, Term: a.term.Load(), Error: reason})
 		return
 	}
 	// Epoch idempotence: a plan the device already runs (a reconnect

@@ -1,0 +1,37 @@
+package mgmt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNextBackoffBase pins the reconnect-backoff reset rule: only a
+// connection that survived HealthyPeriod earns the reset to BackoffMin;
+// a flap keeps the grown delay (clamped to the configured bounds).
+func TestNextBackoffBase(t *testing.T) {
+	opts := AgentOptions{
+		BackoffMin:    10 * time.Millisecond,
+		BackoffMax:    2 * time.Second,
+		HealthyPeriod: 500 * time.Millisecond,
+	}
+	cases := []struct {
+		name     string
+		prev     time.Duration
+		connLife time.Duration
+		want     time.Duration
+	}{
+		{"healthy connection resets to min", 800 * time.Millisecond, time.Second, 10 * time.Millisecond},
+		{"exactly HealthyPeriod counts as healthy", 800 * time.Millisecond, 500 * time.Millisecond, 10 * time.Millisecond},
+		{"flap keeps the grown delay", 800 * time.Millisecond, 20 * time.Millisecond, 800 * time.Millisecond},
+		{"instant death keeps the grown delay", 160 * time.Millisecond, 0, 160 * time.Millisecond},
+		{"flap clamps below min", 1 * time.Millisecond, 20 * time.Millisecond, 10 * time.Millisecond},
+		{"flap clamps above max", 8 * time.Second, 20 * time.Millisecond, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := opts.nextBackoffBase(tc.prev, tc.connLife); got != tc.want {
+				t.Errorf("nextBackoffBase(%v, %v) = %v, want %v", tc.prev, tc.connLife, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package mgmt_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sdme/internal/mgmt"
+)
+
+// TestTermFenceRefusesStalePush: an agent that has seen a plan from term
+// 5 must refuse a later push carrying term 3 outright — a *RefusedError,
+// not an idempotent ack — even though the push carries a fresh epoch.
+// That refusal is how a deposed leader that somehow still holds a live
+// connection learns it lost (split-brain fencing, DESIGN §11).
+func TestTermFenceRefusesStalePush(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	b.server.SetLeader(5)
+	b.pushAll(t)
+
+	node := b.dep.MBNodes[0]
+	agent := b.agents[node]
+	if got := agent.LastTerm(); got != 5 {
+		t.Fatalf("agent term = %d after a term-5 push, want 5", got)
+	}
+	applies0 := agent.Stats().Applies
+
+	// A deposed leader's push: explicit stale term, fresh epoch. PushRetry
+	// preserves both, so the only thing standing between this plan and the
+	// device is the agent-side fence.
+	stale := mgmt.ConfigToDTO(0, b.nodes[node].Config())
+	stale.Term = 3
+	err := b.server.PushRetry(node, stale, mgmt.RetryPolicy{Attempts: 1, PerAttempt: 3 * time.Second})
+	var refused *mgmt.RefusedError
+	if !errors.As(err, &refused) {
+		t.Fatalf("stale-term push returned %v, want a *RefusedError", err)
+	}
+	if !strings.Contains(refused.Reason, "stale term") {
+		t.Fatalf("refusal reason %q does not name the stale term", refused.Reason)
+	}
+	st := agent.Stats()
+	if st.Applies != applies0 {
+		t.Fatalf("stale-term plan reached the device: applies %d -> %d", applies0, st.Applies)
+	}
+	if st.StaleTerms < 1 {
+		t.Fatalf("stale-term counter not bumped: %+v", st)
+	}
+	if got := agent.LastTerm(); got != 5 {
+		t.Fatalf("stale push moved the agent's term to %d", got)
+	}
+
+	// The legitimate successor (term 6) still gets through.
+	b.server.SetLeader(6)
+	next := mgmt.ConfigToDTO(0, b.nodes[node].Config())
+	if err := b.server.Push(node, next, 3*time.Second); err != nil {
+		t.Fatalf("term-6 push after the fence: %v", err)
+	}
+	if got := agent.LastTerm(); got != 6 {
+		t.Fatalf("agent term = %d after a term-6 push, want 6", got)
+	}
+	if got := agent.Stats().Applies; got != applies0+1 {
+		t.Fatalf("term-6 plan applied %d times, want exactly 1", got-applies0)
+	}
+}
+
+// TestNotLeaderRedirectAndRotation: an agent configured with the whole
+// replica set re-homes to whichever replica leads — first by following a
+// NotLeader redirect from a standby at connect time, then again after
+// the leadership (and its bounce) moves the other way.
+func TestNotLeaderRedirectAndRotation(t *testing.T) {
+	b := newMgmtBed(t, 0)
+	node := b.dep.MBNodes[0]
+	b.agents[node].Close()
+
+	serverB, err := mgmt.NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(serverB.Close)
+
+	// Replica A (the bed server) is a standby that knows the leader; B leads.
+	b.server.SetNotLeader(serverB.Addr())
+	serverB.SetLeader(1)
+
+	agent, err := mgmt.NewAgentWith(b.devices[node], b.server.Addr(), mgmt.AgentOptions{
+		Addrs:      []string{b.server.Addr(), serverB.Addr()},
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("agent never reached the leader through the redirect: %v", err)
+	}
+	b.agents[node] = agent
+	if !serverB.WaitConnected(3*time.Second, node) {
+		t.Fatal("agent did not land on the leader")
+	}
+	if got := agent.Stats().Redirects; got < 1 {
+		t.Fatalf("redirects = %d, want >= 1 (dial order starts at the standby)", got)
+	}
+
+	// Leadership moves back to A. B deposes itself, bounces to A, and cuts
+	// its connections; the homed agent must follow without being rebuilt.
+	b.server.SetLeader(2)
+	serverB.SetNotLeader(b.server.Addr())
+	serverB.DropAllConns()
+
+	if !b.server.WaitConnected(5*time.Second, node) {
+		t.Fatalf("agent did not re-home to the new leader: %+v", agent.Stats())
+	}
+	st := agent.Stats()
+	if st.Reconnects < 1 {
+		t.Fatalf("re-homing without a reconnect? %+v", st)
+	}
+	if st.Redirects < 2 {
+		t.Fatalf("redirects = %d, want >= 2 (one per leadership move)", st.Redirects)
+	}
+
+	// And the new home is a working one: a push lands end to end.
+	if err := b.server.Push(node, mgmt.ConfigToDTO(0, b.nodes[node].Config()), 3*time.Second); err != nil {
+		t.Fatalf("push through the re-homed connection: %v", err)
+	}
+}

@@ -25,6 +25,8 @@ const (
 	MetricAgentReconnects   = "sdme_agent_reconnects_total"
 	MetricAgentApplies      = "sdme_agent_applies_total"
 	MetricAgentEpochRejects = "sdme_agent_epoch_rejects_total"
+	MetricAgentTermRejects  = "sdme_agent_term_rejects_total"
+	MetricAgentRedirects    = "sdme_agent_redirects_total"
 	MetricAgentReports      = "sdme_agent_reports_total"
 	MetricAgentPrepares     = "sdme_agent_prepares_total"
 	MetricAgentCommits      = "sdme_agent_commits_total"
@@ -71,6 +73,7 @@ func (s *Server) smInc(sel func(*serverMetrics) *metrics.Counter) {
 // agentMetrics caches an agent's per-node registry handles.
 type agentMetrics struct {
 	reconnects, applies, epochRejects, reports *metrics.Counter
+	termRejects, redirects                     *metrics.Counter
 	prepares, commits, aborts                  *metrics.Counter
 }
 
@@ -83,6 +86,8 @@ func newAgentMetrics(reg *metrics.Registry, nodeID int) *agentMetrics {
 		reconnects:   reg.Counter(MetricAgentReconnects, "node", node),
 		applies:      reg.Counter(MetricAgentApplies, "node", node),
 		epochRejects: reg.Counter(MetricAgentEpochRejects, "node", node),
+		termRejects:  reg.Counter(MetricAgentTermRejects, "node", node),
+		redirects:    reg.Counter(MetricAgentRedirects, "node", node),
 		reports:      reg.Counter(MetricAgentReports, "node", node),
 		prepares:     reg.Counter(MetricAgentPrepares, "node", node),
 		commits:      reg.Counter(MetricAgentCommits, "node", node),

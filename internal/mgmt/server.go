@@ -26,6 +26,12 @@ var (
 	ErrServerClosed = errors.New("server closed")
 )
 
+// ErrNotLeader: this controller replica was deposed (or never led);
+// pushing plans from it would race the current leader's, so the server
+// refuses locally before anything reaches the wire. Not retryable
+// against this replica — the caller re-homes to the leader.
+var ErrNotLeader = errors.New("not the leader")
+
 // RefusedError is an agent's deterministic rejection of a configuration;
 // retrying the same plan cannot succeed.
 type RefusedError struct {
@@ -87,6 +93,16 @@ type Server struct {
 	closed  bool
 	repush  RetryPolicy
 
+	// Replicated-controller state (replica.go / DESIGN §11). term is
+	// stamped on every outgoing plan so agents can fence a deposed
+	// leader; notLeader gates pushes locally and bounces connecting
+	// agents to leaderAddr with a NotLeader frame. A standalone server
+	// (the single-controller substrates) never sets either: term 0 is
+	// omitted on the wire and the gate stays open.
+	term       uint64
+	notLeader  bool
+	leaderAddr string
+
 	// sm is the optional metrics attachment (observe.go).
 	sm smPtr
 
@@ -137,6 +153,53 @@ func (s *Server) SetRepushPolicy(p RetryPolicy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.repush = p.fill()
+}
+
+// SetLeader marks this replica's server as the leader at the given
+// term: the push gate opens and every subsequent plan is stamped with
+// the term (agents refuse anything older — split-brain fencing).
+func (s *Server) SetLeader(term uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if term > s.term {
+		s.term = term
+	}
+	s.notLeader = false
+	s.leaderAddr = ""
+}
+
+// SetNotLeader closes the push gate — this replica was deposed or has
+// not (yet) won a term. Pushes fail locally with ErrNotLeader and
+// agents that connect are bounced to leaderAddr ("" = unknown; the
+// agent rotates through its configured replicas instead).
+func (s *Server) SetNotLeader(leaderAddr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notLeader = true
+	s.leaderAddr = leaderAddr
+}
+
+// Term returns the leadership term the server stamps on pushes.
+func (s *Server) Term() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.term
+}
+
+// DropAllConns severs every live agent connection (returning how many).
+// A deposed leader calls this so its agents re-home to the new leader
+// instead of idling on a replica that can no longer push plans.
+func (s *Server) DropAllConns() int {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	return len(conns)
 }
 
 // Close shuts the server and all connections down.
@@ -274,6 +337,15 @@ func (s *Server) PushRetry(node topo.NodeID, dto ConfigDTO, pol RetryPolicy) err
 		s.mu.Unlock()
 		return fmt.Errorf("mgmt: push to %v: %w", node, ErrServerClosed)
 	}
+	if s.notLeader {
+		// Deposed-leader self-gate: the stale plan dies here, before it
+		// could race the current leader's pushes at any agent.
+		s.mu.Unlock()
+		return fmt.Errorf("mgmt: push to %v: %w", node, ErrNotLeader)
+	}
+	if dto.Term == 0 {
+		dto.Term = s.term
+	}
 	if dto.Epoch == 0 {
 		s.epoch++
 		dto.Epoch = s.epoch
@@ -331,6 +403,7 @@ func (s *Server) storeLatestLocked(node topo.NodeID, dto ConfigDTO) {
 		if full, ok := s.latest[node]; ok && !full.WeightsOnly {
 			full.Weights = dto.Weights
 			full.Epoch = dto.Epoch
+			full.Term = dto.Term
 			s.latest[node] = full
 			return
 		}
@@ -442,6 +515,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if s.notLeader {
+		// Bounce the agent to the leader instead of registering it: a
+		// standby cannot push plans, so an agent parked here would never
+		// converge. The redirect carries the leader's address when known.
+		nl := NotLeader{LeaderAddr: s.leaderAddr, Term: s.term}
+		s.mu.Unlock()
+		_ = writeMsg(conn, TypeNotLeader, nl)
 		_ = conn.Close()
 		return
 	}

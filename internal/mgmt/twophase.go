@@ -38,8 +38,13 @@ func (s *Server) PushAll2PC(plans map[topo.NodeID]ConfigDTO, pol RetryPolicy) (u
 		s.mu.Unlock()
 		return 0, fmt.Errorf("mgmt: 2pc push: %w", ErrServerClosed)
 	}
+	if s.notLeader {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("mgmt: 2pc push: %w", ErrNotLeader)
+	}
 	s.epoch++
 	epoch := s.epoch
+	term := s.term
 	s.mu.Unlock()
 
 	nodes := make([]topo.NodeID, 0, len(plans))
@@ -54,6 +59,7 @@ func (s *Server) PushAll2PC(plans map[topo.NodeID]ConfigDTO, pol RetryPolicy) (u
 	for i, node := range nodes {
 		dto := plans[node]
 		dto.Epoch = epoch
+		dto.Term = term
 		wg.Add(1)
 		go func(i int, node topo.NodeID, dto ConfigDTO) {
 			defer wg.Done()
@@ -76,7 +82,7 @@ func (s *Server) PushAll2PC(plans map[topo.NodeID]ConfigDTO, pol RetryPolicy) (u
 		abortPol := RetryPolicy{Attempts: 1, PerAttempt: pol.PerAttempt}
 		for _, node := range nodes {
 			_ = s.callRetry(node, TypeAbort, func(seq uint64) interface{} {
-				return Commit{Seq: seq, Epoch: epoch}
+				return Commit{Seq: seq, Epoch: epoch, Term: term}
 			}, abortPol, 0)
 		}
 		return epoch, fmt.Errorf("mgmt: 2pc prepare failed at node %v (rolled back): %w", nodes[i], err)
@@ -88,6 +94,7 @@ func (s *Server) PushAll2PC(plans map[topo.NodeID]ConfigDTO, pol RetryPolicy) (u
 	for _, node := range nodes {
 		dto := plans[node]
 		dto.Epoch = epoch
+		dto.Term = term
 		s.storeLatestLocked(node, dto)
 	}
 	s.mu.Unlock()
@@ -100,7 +107,7 @@ func (s *Server) PushAll2PC(plans map[topo.NodeID]ConfigDTO, pol RetryPolicy) (u
 			defer wg.Done()
 			s.smInc(func(m *serverMetrics) *metrics.Counter { return m.commits })
 			errs[i] = s.callRetry(node, TypeCommit, func(seq uint64) interface{} {
-				return Commit{Seq: seq, Epoch: epoch}
+				return Commit{Seq: seq, Epoch: epoch, Term: term}
 			}, pol, epoch)
 		}(i)
 	}
@@ -133,6 +140,12 @@ func (a *Agent) handlePrepare(data []byte) {
 		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch, Error: err.Error(), Prepared: true})
 		return
 	}
+	// A deposed leader must not stage plans either: a stale-term prepare
+	// fails its quorum at every fenced agent.
+	if reason := a.fenceTerm(dto.Term); reason != "" {
+		_ = a.write(TypeAck, Ack{Seq: dto.Seq, Epoch: dto.Epoch, Term: a.term.Load(), Error: reason, Prepared: true})
+		return
+	}
 	if dto.Epoch != 0 && dto.Epoch <= a.epoch.Load() {
 		// Already applied (a reconnect re-push overtook the rollout):
 		// staging again is pointless; ack idempotently.
@@ -162,6 +175,11 @@ func (a *Agent) handleCommit(data []byte) {
 	}
 	if err := cm.Validate(); err != nil {
 		_ = a.write(TypeAck, Ack{Seq: cm.Seq, Error: err.Error()})
+		return
+	}
+	// Same fence as prepare: a deposed leader's commit decision is void.
+	if reason := a.fenceTerm(cm.Term); reason != "" {
+		_ = a.write(TypeAck, Ack{Seq: cm.Seq, Epoch: cm.Epoch, Term: a.term.Load(), Error: reason})
 		return
 	}
 	if cm.Epoch <= a.epoch.Load() {

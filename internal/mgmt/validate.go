@@ -117,6 +117,93 @@ func (h *Hello) Validate() error {
 	return nil
 }
 
+// Validate checks a lease bid: replica identity must be a real index and
+// the term positive (term 0 is the unfenced single-controller sentinel,
+// never a ballot).
+func (r *LeaseRequest) Validate() error {
+	if r.Candidate < 0 {
+		return fmt.Errorf("mgmt: lease request: negative candidate %d", r.Candidate)
+	}
+	if r.Term == 0 {
+		return fmt.Errorf("mgmt: lease request: zero term")
+	}
+	if r.JournalBytes < 0 {
+		return fmt.Errorf("mgmt: lease request: negative journal length %d", r.JournalBytes)
+	}
+	return nil
+}
+
+// Validate checks a lease grant.
+func (g *LeaseGrant) Validate() error {
+	if g.Voter < 0 {
+		return fmt.Errorf("mgmt: lease grant: negative voter %d", g.Voter)
+	}
+	if g.Term == 0 {
+		return fmt.Errorf("mgmt: lease grant: zero term")
+	}
+	return nil
+}
+
+// Validate checks a heartbeat.
+func (h *Heartbeat) Validate() error {
+	if h.Leader < 0 {
+		return fmt.Errorf("mgmt: heartbeat: negative replica %d", h.Leader)
+	}
+	if h.Term == 0 {
+		return fmt.Errorf("mgmt: heartbeat: zero term")
+	}
+	if h.JournalBytes < 0 {
+		return fmt.Errorf("mgmt: heartbeat: negative journal length %d", h.JournalBytes)
+	}
+	return nil
+}
+
+// Validate checks a redirect before the agent re-dials the named address.
+func (n *NotLeader) Validate() error {
+	if len(n.LeaderAddr) > maxNameLen {
+		return fmt.Errorf("mgmt: not-leader: address longer than %d bytes", maxNameLen)
+	}
+	return nil
+}
+
+// Validate checks a replication frame batch's envelope fields; the
+// per-record length+CRC validation happens in the standby decoder, which
+// never applies anything past a bad checksum.
+func (f *JournalFrame) Validate() error {
+	if f.Leader < 0 {
+		return fmt.Errorf("mgmt: journal frame: negative leader %d", f.Leader)
+	}
+	if f.Term == 0 {
+		return fmt.Errorf("mgmt: journal frame: zero term")
+	}
+	if f.Offset < 0 {
+		return fmt.Errorf("mgmt: journal frame: negative offset %d", f.Offset)
+	}
+	return nil
+}
+
+// Validate checks a catch-up request.
+func (f *JournalFetch) Validate() error {
+	if f.Standby < 0 {
+		return fmt.Errorf("mgmt: journal fetch: negative standby %d", f.Standby)
+	}
+	if f.From < 0 {
+		return fmt.Errorf("mgmt: journal fetch: negative offset %d", f.From)
+	}
+	return nil
+}
+
+// Validate checks a replication ack.
+func (a *JournalAck) Validate() error {
+	if a.Standby < 0 {
+		return fmt.Errorf("mgmt: journal ack: negative standby %d", a.Standby)
+	}
+	if a.Bytes < 0 {
+		return fmt.Errorf("mgmt: journal ack: negative journal length %d", a.Bytes)
+	}
+	return nil
+}
+
 // Validate checks a proxy measurement report before it reaches the
 // controller's solver input (§III-C): packet counts must be
 // non-negative or the rebalance divides by garbage.

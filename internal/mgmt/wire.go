@@ -51,6 +51,26 @@ const (
 	TypePrepare = "prepare"
 	TypeCommit  = "commit"
 	TypeAbort   = "abort"
+	// TypeLeaseRequest / TypeLeaseGrant / TypeHeartbeat are the
+	// controller-replica election protocol (internal/controller/election.go):
+	// a candidate asks its peers for a term-scoped lease, peers grant at
+	// most one lease per term, and the winner refreshes its leadership with
+	// periodic heartbeats that double as replication progress reports.
+	TypeLeaseRequest = "lease-request"
+	TypeLeaseGrant   = "lease-grant"
+	TypeHeartbeat    = "heartbeat"
+	// TypeNotLeader is a standby's redirect: an agent that hellos a
+	// non-leader replica is bounced here with the current leader's
+	// management address, so it re-homes within one backoff cycle.
+	TypeNotLeader = "not-leader"
+	// TypeJournalFrame / TypeJournalFetch / TypeJournalAck stream the
+	// leader's write-ahead journal to standbys (controller/replicate.go):
+	// frames carry raw length+CRC32 journal records at an exact offset,
+	// fetch requests catch-up from a standby's current length, and acks
+	// report each standby's durable journal length back to the leader.
+	TypeJournalFrame = "journal-frame"
+	TypeJournalFetch = "journal-fetch"
+	TypeJournalAck   = "journal-ack"
 )
 
 // Hello announces an agent to the server. Epoch is the last
@@ -101,8 +121,13 @@ type WeightDTO struct {
 // lifetime) — a re-pushed plan keeps its epoch under a fresh seq, and
 // agents apply each epoch at most once.
 type ConfigDTO struct {
-	Seq            uint64         `json:"seq"`
-	Epoch          uint64         `json:"epoch,omitempty"`
+	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Term is the pushing leader's election term (0 = single-controller
+	// deployment, unfenced). Agents track the highest term they have seen
+	// and refuse pushes from older terms, so a deposed leader that still
+	// holds connections cannot roll the fleet back (split-brain fencing).
+	Term           uint64         `json:"term,omitempty"`
 	Strategy       int            `json:"strategy"`
 	HashSeed       uint64         `json:"hash_seed"`
 	LabelSwitching bool           `json:"label_switching"`
@@ -127,6 +152,9 @@ type Ack struct {
 	Epoch    uint64 `json:"epoch,omitempty"`
 	Error    string `json:"error,omitempty"`
 	Prepared bool   `json:"prepared,omitempty"`
+	// Term echoes the agent's highest-seen leader term on a stale-term
+	// refusal, so a deposed leader learns which term displaced it.
+	Term uint64 `json:"term,omitempty"`
 }
 
 // Commit is the phase-2 decision message of the two-phase rollout
@@ -135,6 +163,82 @@ type Ack struct {
 type Commit struct {
 	Seq   uint64 `json:"seq"`
 	Epoch uint64 `json:"epoch"`
+	// Term fences the decision exactly like ConfigDTO.Term fences pushes.
+	Term uint64 `json:"term,omitempty"`
+}
+
+// LeaseRequest is a candidate's term-scoped bid for leadership.
+// JournalBytes is the candidate's intact journal length; a voter whose
+// own journal is longer refuses the lease, so a stale standby can never
+// depose a replica holding records it lacks.
+type LeaseRequest struct {
+	Candidate    int    `json:"candidate"`
+	Term         uint64 `json:"term"`
+	JournalBytes int64  `json:"journal_bytes"`
+}
+
+// LeaseGrant answers a LeaseRequest. Term echoes the voter's term (the
+// request's term if granted; the voter's higher term on refusal, which
+// deposes the candidate).
+type LeaseGrant struct {
+	Voter   int    `json:"voter"`
+	Term    uint64 `json:"term"`
+	Granted bool   `json:"granted"`
+}
+
+// Heartbeat refreshes a leader's lease. JournalBytes is the leader's
+// durable journal length: a standby that is behind it requests catch-up
+// with a JournalFetch. Followers answer with a Heartbeat of their own
+// (Leader echoing the sender) so the leader can count live followers and
+// self-depose when it loses its quorum — the lease half of the
+// split-brain argument (DESIGN §11).
+type Heartbeat struct {
+	Leader       int    `json:"leader"`
+	Term         uint64 `json:"term"`
+	JournalBytes int64  `json:"journal_bytes"`
+	// JournalCRC is the running CRC-32 (IEEE) over the sender's whole
+	// intact journal. A standby whose length matches the leader's but
+	// whose CRC does not has a diverged prefix (records a dead leader
+	// streamed that never reached a quorum) and resyncs from scratch.
+	JournalCRC uint32 `json:"journal_crc,omitempty"`
+	// Reply marks a follower's answer to a leader heartbeat (Leader then
+	// names the follower itself).
+	Reply bool `json:"reply,omitempty"`
+}
+
+// NotLeader bounces an agent off a non-leader replica, naming the
+// current leader's management address when known ("" = unknown, try the
+// next address in the agent's rotation).
+type NotLeader struct {
+	LeaderAddr string `json:"leader_addr,omitempty"`
+	Term       uint64 `json:"term,omitempty"`
+}
+
+// JournalFrame carries raw write-ahead journal records (the on-disk
+// length+CRC32 framing, unchanged) from the leader to a standby. Offset
+// is the byte position of the first frame in the leader's journal; a
+// standby applies the batch only when Offset equals its own journal
+// length, preserving the prefix invariant.
+type JournalFrame struct {
+	Leader int    `json:"leader"`
+	Term   uint64 `json:"term"`
+	Offset int64  `json:"offset"`
+	Frames []byte `json:"frames"`
+}
+
+// JournalFetch asks the leader for journal records from a byte offset —
+// the standby catch-up path after a gap or a fresh join.
+type JournalFetch struct {
+	Standby int   `json:"standby"`
+	From    int64 `json:"from"`
+}
+
+// JournalAck reports a standby's durable journal length after applying
+// (or refusing) a frame batch; the leader's quorum accounting reads it.
+type JournalAck struct {
+	Standby int    `json:"standby"`
+	Term    uint64 `json:"term"`
+	Bytes   int64  `json:"bytes"`
 }
 
 // MeasureRow is one traffic measurement bucket (§III-C's T_{s,d,p}).

@@ -1,0 +1,121 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"sdme/internal/controller"
+	"sdme/internal/sim"
+)
+
+// TestControllerGroupElectsOneLeader: the base case — three replicas,
+// one election, exactly one leader.
+func TestControllerGroupElectsOneLeader(t *testing.T) {
+	eng := sim.NewEngine()
+	g, err := sim.NewControllerGroup(eng, sim.ControllerGroupConfig{
+		Dir: t.TempDir(), LeaseUS: 10_000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	id, term, _ := g.RunUntilLeader(5_000_000, 1)
+	if id < 0 {
+		t.Fatal("no leader elected")
+	}
+	if term == 0 {
+		t.Fatal("leader at term 0")
+	}
+	leaders := 0
+	for i := 0; i < g.N(); i++ {
+		if g.Replica(i).Elector().Role() == controller.RoleLeader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d replicas lead at once", leaders)
+	}
+}
+
+// TestElectionAtMostOneLeaderPerTerm is the safety property test: across
+// 1000 randomized-seed runs — each with a leader kill and a transient
+// partition stirring re-elections — no term may ever produce two
+// promotions, and the full promotion trace must be a pure function of
+// the seed.
+func TestElectionAtMostOneLeaderPerTerm(t *testing.T) {
+	runs := 1000
+	if testing.Short() {
+		runs = 60
+	}
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4242))
+	for run := 0; run < runs; run++ {
+		seed := rng.Int63()
+		trace1 := electionHistory(t, fmt.Sprintf("%s/a%d", dir, run), seed)
+		byTerm := make(map[uint64]int)
+		for _, p := range trace1 {
+			if prev, dup := byTerm[p.Term]; dup && prev != p.ID {
+				t.Fatalf("seed %d: term %d won by both replica %d and replica %d",
+					seed, p.Term, prev, p.ID)
+			}
+			byTerm[p.Term] = p.ID
+		}
+		// Determinism spot-check on a sample (full double-runs would
+		// double the test's cost for no extra safety coverage).
+		if run%97 == 0 {
+			trace2 := electionHistory(t, fmt.Sprintf("%s/b%d", dir, run), seed)
+			if len(trace1) != len(trace2) {
+				t.Fatalf("seed %d: reruns promoted %d vs %d times", seed, len(trace1), len(trace2))
+			}
+			for i := range trace1 {
+				if trace1[i] != trace2[i] {
+					t.Fatalf("seed %d: rerun diverged at promotion %d: %+v vs %+v",
+						seed, i, trace1[i], trace2[i])
+				}
+			}
+		}
+	}
+}
+
+// electionHistory runs one seeded group through a kill and a healed
+// partition and returns its promotion trace.
+func electionHistory(t *testing.T, dir string, seed int64) []sim.Promotion {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	g, err := sim.NewControllerGroup(eng, sim.ControllerGroupConfig{
+		Dir: dir, LeaseUS: 10_000, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	id0, term0, _ := g.RunUntilLeader(2_000_000, 1)
+	if id0 < 0 {
+		t.Fatalf("seed %d: no first leader", seed)
+	}
+	// Stir: kill the incumbent, force a takeover.
+	g.Kill(id0)
+	id1, _, _ := g.RunUntilLeader(eng.Now()+2_000_000, term0+1)
+	if id1 < 0 {
+		t.Fatalf("seed %d: no takeover after killing %d", seed, id0)
+	}
+	// Stir harder: briefly cut the new leader off one peer, then heal and
+	// let the dust settle. With N=3 and one replica dead this starves the
+	// lease, so the leader must self-depose and a later term re-elects.
+	var peer int
+	for peer = 0; peer < g.N(); peer++ {
+		if peer != id1 && g.Alive(peer) {
+			break
+		}
+	}
+	g.SetPartitioned(id1, peer, true)
+	eng.Run(eng.Now() + 100_000)
+	g.SetPartitioned(id1, peer, false)
+	g.RunUntilLeader(eng.Now()+2_000_000, 1)
+	return g.Promotions()
+}

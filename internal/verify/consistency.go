@@ -29,6 +29,12 @@ const InvConsistency Invariant = "plan-consistency"
 type NodePlanView struct {
 	// Epoch is the node's last applied configuration epoch.
 	Epoch uint64
+	// Term is the leadership term of the controller replica that pushed
+	// the node's plan (0 in single-controller deployments, where term
+	// fencing is not in play). A fleet split across terms ran plans from
+	// two different leaders — the split-brain residue term fencing
+	// exists to prevent.
+	Term uint64
 	// Strategy, HashSeed, LabelSwitching mirror enforce.Config.
 	Strategy       enforce.Strategy
 	HashSeed       uint64
@@ -47,6 +53,14 @@ func ViewOf(epoch uint64, cfg enforce.Config) NodePlanView {
 		LabelSwitching: cfg.LabelSwitching,
 		PolicyDigest:   policyDigest(cfg),
 	}
+}
+
+// ViewOfTerm is ViewOf carrying the leadership term the node's agent
+// last saw (mgmt.Agent.LastTerm) — replicated-controller deployments.
+func ViewOfTerm(epoch, term uint64, cfg enforce.Config) NodePlanView {
+	v := ViewOf(epoch, cfg)
+	v.Term = term
+	return v
 }
 
 // policyDigest renders the policy table deterministically: sorted by ID,
@@ -83,9 +97,14 @@ func CheckConsistency(views map[topo.NodeID]NodePlanView) []Violation {
 	}
 	ids = topo.SortedIDs(ids)
 
+	// The reference is the highest (Term, Epoch) view: a newer leadership
+	// term outranks any epoch count from a deposed leader (the new leader
+	// resumes epochs past the old high-water, but a stale replica's view
+	// must never be the reference even if its epoch number races ahead).
 	refID := ids[0]
 	for _, id := range ids[1:] {
-		if views[id].Epoch > views[refID].Epoch {
+		v, r := views[id], views[refID]
+		if v.Term > r.Term || (v.Term == r.Term && v.Epoch > r.Epoch) {
 			refID = id
 		}
 	}
@@ -97,6 +116,19 @@ func CheckConsistency(views map[topo.NodeID]NodePlanView) []Violation {
 			continue
 		}
 		v := views[id]
+		if v.Term != ref.Term {
+			out = append(out, Violation{
+				Invariant: InvConsistency,
+				Severity:  SevError,
+				Node:      id,
+				PolicyID:  -1,
+				Detail: fmt.Sprintf("runs a plan from leadership term %d while node %d runs term %d's; the fleet spans two leaders",
+					v.Term, int(refID), ref.Term),
+			})
+			// Epoch and scalar comparisons across terms are meaningless:
+			// each leader numbers and plans independently.
+			continue
+		}
 		if v.Epoch != ref.Epoch {
 			out = append(out, Violation{
 				Invariant: InvConsistency,
