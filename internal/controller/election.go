@@ -21,8 +21,11 @@ import (
 //     election timeout becomes a candidate, increments the term, and bids
 //     for the lease;
 //   - each peer grants at most one lease per term, and only to a
-//     candidate whose journal is at least as long as its own (so a stale
-//     standby can never win over one holding records it lacks);
+//     candidate whose journal is at least as up-to-date as its own —
+//     Raft's lexicographic (lastTerm, length) criterion, where lastTerm
+//     is the term of the leader that last verifiably extended the
+//     journal. Length alone would elect a deposed leader whose un-acked
+//     tail outweighs a newer leader's quorum-acked records, losing them;
 //   - a candidate with a quorum of grants (itself included) leads, and
 //     refreshes the lease with periodic heartbeats;
 //   - a leader that cannot hear a quorum of heartbeat replies within the
@@ -109,9 +112,13 @@ type ElectorConfig struct {
 	// JournalBytes reports this replica's intact journal length for the
 	// up-to-date check (nil = 0). JournalCRC reports the running CRC-32
 	// over that prefix; leader heartbeats carry both so standbys detect
-	// divergence, not just lag (nil = 0).
-	JournalBytes func() int64
-	JournalCRC   func() uint32
+	// divergence, not just lag (nil = 0). JournalLastTerm reports the
+	// term of the leader that last verifiably extended this replica's
+	// journal (nil = 0); the up-to-date check compares (lastTerm, bytes)
+	// lexicographically, never bytes alone.
+	JournalBytes    func() int64
+	JournalCRC      func() uint32
+	JournalLastTerm func() uint64
 	// OnLeader fires when this replica wins a term; OnDeposed fires when
 	// a leader steps down (higher term seen, or lease quorum lost).
 	// OnHeartbeat fires for each accepted leader heartbeat — the standby
@@ -260,6 +267,15 @@ func (e *Elector) journalCRC() uint32 {
 	return e.cfg.JournalCRC()
 }
 
+// journalLastTerm reads the term of the leader that last verifiably
+// extended the replica's journal.
+func (e *Elector) journalLastTerm() uint64 {
+	if e.cfg.JournalLastTerm == nil {
+		return 0
+	}
+	return e.cfg.JournalLastTerm()
+}
+
 // resetTimerLocked (re)arms the election timeout with a fresh random
 // draw from [LeaseUS, 2·LeaseUS).
 func (e *Elector) resetTimerLocked() {
@@ -304,7 +320,12 @@ func (e *Elector) onElectionTimeout() {
 		return
 	}
 	e.resetTimerLocked()
-	req := mgmt.LeaseRequest{Candidate: e.cfg.ID, Term: e.term, JournalBytes: e.journalBytes()}
+	req := mgmt.LeaseRequest{
+		Candidate:    e.cfg.ID,
+		Term:         e.term,
+		JournalBytes: e.journalBytes(),
+		LastTerm:     e.journalLastTerm(),
+	}
 	peers := append([]int(nil), e.cfg.Peers...)
 	e.mu.Unlock()
 	for _, p := range peers {
@@ -466,10 +487,16 @@ func (e *Elector) handleLeaseRequest(req mgmt.LeaseRequest) {
 	if req.Term > e.term {
 		after = e.adoptTermLocked(req.Term)
 	}
+	// Raft's up-to-date criterion on (lastTerm, length): a candidate with
+	// a staler lastTerm is refused no matter how long its journal — a
+	// deposed leader's un-acked tail must never outvote a newer leader's
+	// quorum-acked records.
+	upToDate := req.LastTerm > e.journalLastTerm() ||
+		(req.LastTerm == e.journalLastTerm() && req.JournalBytes >= e.journalBytes())
 	granted := false
 	if req.Term == e.term && e.role != RoleLeader &&
 		(e.grantedTerm < req.Term || (e.grantedTerm == req.Term && e.grantedTo == req.Candidate)) &&
-		req.JournalBytes >= e.journalBytes() {
+		upToDate {
 		granted = true
 		e.grantedTerm = req.Term
 		e.grantedTo = req.Candidate

@@ -108,10 +108,12 @@ type Journal struct {
 	// prefix (DESIGN §11).
 	runCRC atomic.Uint32
 	// onAppend, when set, streams each durable record to the replicator
-	// under the append lock (offset is where the frame starts). A non-nil
-	// error fails the Append: a record the quorum refused must not be
-	// treated as logged.
-	onAppend func(offset int64, frame []byte) error
+	// under the append lock (offset is where the frame starts, prefixCRC
+	// the running CRC-32 over the journal below it — standbys verify
+	// their own journal against it before applying). A non-nil error
+	// fails the Append: a record the quorum refused must not be treated
+	// as logged.
+	onAppend func(offset int64, prefixCRC uint32, frame []byte) error
 }
 
 // OpenJournal opens (creating if needed) a journal for appending. Any
@@ -241,15 +243,16 @@ func (j *Journal) Append(kind string, v interface{}) error {
 		return fmt.Errorf("controller: journal sync: %w", err)
 	}
 	offset := j.size.Load()
+	prefixCRC := j.runCRC.Load()
 	j.records++
 	j.bytes += int64(len(buf))
 	j.size.Add(int64(len(buf)))
-	j.runCRC.Store(crc32.Update(j.runCRC.Load(), crc32.IEEETable, buf))
+	j.runCRC.Store(crc32.Update(prefixCRC, crc32.IEEETable, buf))
 	if j.onAppend != nil {
 		// Replication hook: the record is durable locally; it must now be
 		// durable on a quorum before the append is acknowledged upstream.
 		//vet:ignore lockedblocking -- WAL contract: quorum replication completes in record order, under the same append lock that defines that order
-		if err := j.onAppend(offset, buf); err != nil {
+		if err := j.onAppend(offset, prefixCRC, buf); err != nil {
 			return fmt.Errorf("controller: journal replicate: %w", err)
 		}
 	}
@@ -257,9 +260,10 @@ func (j *Journal) Append(kind string, v interface{}) error {
 }
 
 // SetOnAppend installs the replication hook invoked (under the append
-// lock, after the local fsync) with each record's starting offset and
-// raw framed bytes. nil detaches. The hook's error fails the Append.
-func (j *Journal) SetOnAppend(fn func(offset int64, frame []byte) error) {
+// lock, after the local fsync) with each record's starting offset, the
+// running CRC-32 over the journal below that offset, and the raw framed
+// bytes. nil detaches. The hook's error fails the Append.
+func (j *Journal) SetOnAppend(fn func(offset int64, prefixCRC uint32, frame []byte) error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.onAppend = fn
@@ -311,6 +315,40 @@ func (j *Journal) ReadChunk(offset int64, max int) ([]byte, error) {
 		return nil, fmt.Errorf("controller: journal read at %d: %w", offset, err)
 	}
 	return buf, nil
+}
+
+// CRCAt returns the running CRC-32 over the journal's first offset
+// bytes — the prefix mark a catch-up chunk from that offset carries so
+// the standby can prove its journal is this journal's prefix before
+// applying. Offsets only ever come from Size / JournalAck / JournalFetch
+// values, so the prefix ends on a record boundary.
+func (j *Journal) CRCAt(offset int64) (uint32, error) {
+	if offset == 0 {
+		return 0, nil
+	}
+	size, path := j.size.Load(), j.path
+	if offset < 0 || offset > size {
+		return 0, fmt.Errorf("controller: journal CRC offset %d out of range [0,%d]", offset, size)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("controller: journal CRC read: %w", err)
+	}
+	defer f.Close() //nolint:errcheck // read-only handle
+	var crc uint32
+	buf := make([]byte, 64<<10)
+	for read := int64(0); read < offset; {
+		n := int64(len(buf))
+		if offset-read < n {
+			n = offset - read
+		}
+		if _, err := io.ReadFull(f, buf[:n]); err != nil {
+			return 0, fmt.Errorf("controller: journal CRC read at %d: %w", read, err)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+		read += n
+	}
+	return crc, nil
 }
 
 // LogEpoch records the epoch high-water after a successful push, fenced

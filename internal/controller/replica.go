@@ -71,6 +71,14 @@ type HAReplica struct {
 	j       *Journal // leader role, nil while standing by
 	repl    *Replicator
 	closed  bool
+	// lastTerm is the term of the leader that last verifiably extended
+	// this replica's journal — the election up-to-date fence (Raft's
+	// "term of last log entry"). It is persisted across restarts by the
+	// term-marker epoch record every new leader appends at promotion
+	// (recovered here via ReplayJournal), advances when the standby
+	// proves its journal a prefix of a newer leader's, and gates both
+	// lease grants and incoming frames.
+	lastTerm uint64
 }
 
 // NewHAReplica builds a replica in the standby role. Call Start to arm
@@ -82,25 +90,38 @@ func NewHAReplica(cfg HAReplicaConfig) (*HAReplica, error) {
 		return nil, err
 	}
 	ha.sj = sj
+	// Recover the journal's term fence: the highest term any replayed
+	// epoch record carries. Every leader appends a term-marker epoch
+	// record at promotion before any other record of its term, so this is
+	// exactly the term of the leader that last extended the journal.
+	st, err := ReplayJournal(cfg.JournalPath)
+	if err != nil {
+		_ = sj.Close()
+		return nil, err
+	}
+	ha.lastTerm = st.Term
 	ha.elector = NewElector(ElectorConfig{
-		ID:           cfg.ID,
-		Peers:        cfg.Peers,
-		Quorum:       cfg.Quorum,
-		LeaseUS:      cfg.LeaseUS,
-		HeartbeatUS:  cfg.HeartbeatUS,
-		Seed:         cfg.Seed,
-		Clock:        cfg.Clock,
-		Transport:    cfg.Transport,
-		JournalBytes: ha.JournalBytes,
-		JournalCRC:   ha.JournalCRC,
-		OnLeader:     ha.promote,
-		OnDeposed:    ha.demote,
-		OnHeartbeat:  ha.onLeaderHeartbeat,
+		ID:              cfg.ID,
+		Peers:           cfg.Peers,
+		Quorum:          cfg.Quorum,
+		LeaseUS:         cfg.LeaseUS,
+		HeartbeatUS:     cfg.HeartbeatUS,
+		Seed:            cfg.Seed,
+		Clock:           cfg.Clock,
+		Transport:       cfg.Transport,
+		JournalBytes:    ha.JournalBytes,
+		JournalCRC:      ha.JournalCRC,
+		JournalLastTerm: ha.JournalLastTerm,
+		OnLeader:        ha.promote,
+		OnDeposed:       ha.demote,
+		OnHeartbeat:     ha.onLeaderHeartbeat,
 	})
 	ha.standby = NewStandby(StandbyConfig{
-		ID:        cfg.ID,
-		Transport: cfg.Transport,
-		Term:      ha.elector.Term,
+		ID:         cfg.ID,
+		Transport:  cfg.Transport,
+		Term:       ha.elector.Term,
+		LastTerm:   ha.JournalLastTerm,
+		OnVerified: ha.noteVerifiedTerm,
 	}, sj)
 	if cfg.Metrics != nil {
 		ha.elector.SetMetrics(cfg.Metrics)
@@ -151,6 +172,25 @@ func (ha *HAReplica) JournalCRC() uint32 {
 		return ha.sj.CRC()
 	}
 	return 0
+}
+
+// JournalLastTerm reports the term of the leader that last verifiably
+// extended this replica's journal — the (lastTerm, bytes) half the
+// election's up-to-date check compares first.
+func (ha *HAReplica) JournalLastTerm() uint64 {
+	ha.mu.Lock()
+	defer ha.mu.Unlock()
+	return ha.lastTerm
+}
+
+// noteVerifiedTerm advances the journal's term fence after the standby
+// proves its journal a prefix of the term-`term` leader's.
+func (ha *HAReplica) noteVerifiedTerm(term uint64) {
+	ha.mu.Lock()
+	defer ha.mu.Unlock()
+	if term > ha.lastTerm {
+		ha.lastTerm = term
+	}
 }
 
 // Start arms the replica's first election timeout.
@@ -221,6 +261,21 @@ func (ha *HAReplica) promote(term uint64) {
 	if ha.cfg.Metrics != nil {
 		ha.repl.SetMetrics(ha.cfg.Metrics)
 	}
+	// Term marker — Raft's no-op entry at the start of a term. Appending
+	// an epoch record fenced with the winning term (epoch unchanged)
+	// before any other record of this term persists the journal's term
+	// fence: a replica that replays this journal — after a crash, or as a
+	// standby that replicated it — recovers lastTerm = term, so a deposed
+	// leader's longer-but-staler journal can never win a later election
+	// over it on length alone.
+	//vet:ignore lockedblocking -- the marker must be the term's first record, before any frame or append can race the role swap
+	if err := j.LogEpoch(st.Epoch, term); err != nil {
+		ha.mu.Unlock()
+		panic(fmt.Sprintf("controller: replica %d term marker append: %v", ha.cfg.ID, err))
+	}
+	if term > ha.lastTerm {
+		ha.lastTerm = term
+	}
 	cb := ha.cfg.OnPromote
 	ha.mu.Unlock()
 	if cb != nil {
@@ -250,9 +305,11 @@ func (ha *HAReplica) demote(term uint64) {
 	}
 	ha.sj = sj
 	ha.standby = NewStandby(StandbyConfig{
-		ID:        ha.cfg.ID,
-		Transport: ha.cfg.Transport,
-		Term:      ha.elector.Term,
+		ID:         ha.cfg.ID,
+		Transport:  ha.cfg.Transport,
+		Term:       ha.elector.Term,
+		LastTerm:   ha.JournalLastTerm,
+		OnVerified: ha.noteVerifiedTerm,
 	}, sj)
 	if ha.cfg.Metrics != nil {
 		ha.standby.SetMetrics(ha.cfg.Metrics)

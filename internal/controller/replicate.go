@@ -19,11 +19,14 @@ import (
 // record — the exact on-disk length+CRC32 frames, unchanged — to its
 // standbys, and a rollout is only acknowledged once a quorum of
 // replicas (leader included) holds the records durably. A standby's
-// journal is kept a prefix of the leader's by construction: frames are
-// applied only at the standby's exact current length, anything else
-// triggers catch-up from that length, and the leader's heartbeats carry
-// (size, running CRC) so a diverged prefix — records a dead leader
-// streamed that never reached a quorum — is detected and resynced.
+// journal is kept a PROVEN prefix of the leader's: every frame carries
+// the running CRC-32 of the leader's journal below its offset, a batch
+// is applied only when that prefix CRC matches the standby's own
+// running CRC at its exact current length, and the leader's heartbeats
+// carry (size, running CRC) as well — so a diverged prefix (records a
+// dead leader streamed that never reached a quorum) is detected at the
+// first frame or heartbeat and resynced from zero, never silently
+// spliced or livelocked on misaligned catch-up offsets.
 // Takeover then reuses ReplayJournal + RestoreFromJournal verbatim: the
 // new leader replays its own standby journal and resumes epoch
 // numbering past the max term-fenced high-water mark it finds.
@@ -226,6 +229,17 @@ type StandbyConfig struct {
 	// Term reports the replica's current election term; frames fenced
 	// with an older term are refused (the sender was deposed).
 	Term func() uint64
+	// LastTerm reports the term of the leader that last verifiably
+	// extended this replica's journal (nil = 0). Frames older than it are
+	// refused even when the election term lags — once a newer leader's
+	// records are in the journal, a dead leader's stragglers must never
+	// append behind them.
+	LastTerm func() uint64
+	// OnVerified fires after the standby proves its journal is a prefix
+	// of the term-`term` leader's journal (prefix-CRC match on a frame,
+	// or a full-length CRC match in a heartbeat); the replica persists it
+	// as the new LastTerm fence.
+	OnVerified func(term uint64)
 }
 
 // Standby glues a StandbyJournal to the peer transport: it applies
@@ -263,40 +277,91 @@ func (s *Standby) term() uint64 {
 	return s.cfg.Term()
 }
 
+func (s *Standby) lastTerm() uint64 {
+	if s.cfg.LastTerm == nil {
+		return 0
+	}
+	return s.cfg.LastTerm()
+}
+
+// verified records that the standby's journal is now a proven prefix of
+// the term-`term` leader's journal.
+func (s *Standby) verified(term uint64) {
+	if s.cfg.OnVerified != nil {
+		s.cfg.OnVerified(term)
+	}
+}
+
 // HandleFrame applies one streamed frame batch and acks the leader.
-// Frames fenced with a term older than the replica's are refused
-// without touching the journal — a deposed leader cannot extend a
-// standby's log (the replication half of split-brain fencing).
+// Frames fenced with a term older than the replica's election term OR
+// its journal fence are refused without touching the journal — a
+// deposed leader cannot extend a standby's log (the replication half of
+// split-brain fencing). A batch at the standby's exact length is
+// applied only when the frame's prefix CRC matches the standby's own
+// running CRC: a mismatch means the journal below this offset is NOT
+// the leader's prefix (an un-acked tail from a dead leader), and the
+// standby resyncs from zero instead of splicing diverged histories.
 func (s *Standby) HandleFrame(f mgmt.JournalFrame) {
-	term := s.term()
+	term, fence := s.term(), s.lastTerm()
+	if fence > term {
+		term = fence
+	}
 	if f.Term < term {
 		if s.cStale != nil {
 			s.cStale.Inc()
 		}
+		// Ack with our higher fence so the deposed sender learns.
 		s.ack(f.Leader, term)
 		return
 	}
-	bytes, err := s.sj.ApplyFrames(f.Offset, f.Frames)
-	if errors.Is(err, ErrOffsetGap) && f.Offset > bytes {
+	bytes, crc := s.sj.Bytes(), s.sj.CRC()
+	if f.Offset == bytes && f.PrefixCRC != crc {
+		// Diverged below the leader's offset: everything we hold at this
+		// length is suspect. Full resync.
+		if s.cResyncs != nil {
+			s.cResyncs.Inc()
+		}
+		if s.sj.TruncateTo(0) != nil {
+			return
+		}
+		// The empty journal is trivially the leader's prefix.
+		s.verified(f.Term)
+		s.sendFetch(f.Leader, 0)
+		s.ack(f.Leader, f.Term)
+		return
+	}
+	if f.Offset == bytes {
+		// Prefix CRC matched at our exact length: our whole journal is the
+		// term-f.Term leader's prefix, and the batch extends it.
+		s.verified(f.Term)
+		_, err := s.sj.ApplyFrames(f.Offset, f.Frames)
+		s.ack(f.Leader, f.Term)
+		_ = err // bad tails are already excluded from the durable length
+		return
+	}
+	if f.Offset > bytes {
 		// A gap: records between our length and the frame are missing.
 		s.sendFetch(f.Leader, bytes)
 	}
+	// Duplicate or gap — our length is unchanged and unverified by THIS
+	// frame; ack with the fence we last verified against so an unproven
+	// length never enters a newer leader's quorum accounting.
 	s.ack(f.Leader, term)
-	_ = err // duplicates and bad tails are already excluded from bytes
 }
 
 // HandleHeartbeat folds the leader's replication progress report in: a
 // shorter or equal-length-but-diverged leader journal triggers resync
-// truncation, a longer one triggers catch-up.
+// truncation, a longer one triggers catch-up, and a full-length CRC
+// match proves the journals identical (advancing the LastTerm fence).
 func (s *Standby) HandleHeartbeat(hb mgmt.Heartbeat) {
-	if hb.Term < s.term() {
+	if hb.Term < s.term() || hb.Term < s.lastTerm() {
 		return
 	}
 	bytes, crc := s.sj.Bytes(), s.sj.CRC()
 	switch {
 	case bytes > hb.JournalBytes:
 		// Our tail was never on a quorum (the leader was elected with a
-		// journal at least as long as a majority's): discard it.
+		// journal at least as up-to-date as a majority's): discard it.
 		if s.cResyncs != nil {
 			s.cResyncs.Inc()
 		}
@@ -306,6 +371,8 @@ func (s *Standby) HandleHeartbeat(hb mgmt.Heartbeat) {
 		if s.sj.CRC() != hb.JournalCRC {
 			// Still diverged below the leader's length: full resync.
 			_ = s.sj.TruncateTo(0)
+		} else {
+			s.verified(hb.Term)
 		}
 		s.sendFetch(hb.Leader, s.sj.Bytes())
 	case bytes == hb.JournalBytes && crc != hb.JournalCRC:
@@ -316,6 +383,9 @@ func (s *Standby) HandleHeartbeat(hb mgmt.Heartbeat) {
 		s.sendFetch(hb.Leader, 0)
 	case bytes < hb.JournalBytes:
 		s.sendFetch(hb.Leader, bytes)
+	default:
+		// Equal length, equal CRC: byte-identical to the leader.
+		s.verified(hb.Term)
 	}
 }
 
@@ -414,8 +484,11 @@ func (r *Replicator) term() uint64 {
 }
 
 // onAppend streams one freshly durable record to every standby.
-func (r *Replicator) onAppend(offset int64, frame []byte) error {
-	f := mgmt.JournalFrame{Leader: r.cfg.ID, Term: r.term(), Offset: offset, Frames: frame}
+func (r *Replicator) onAppend(offset int64, prefixCRC uint32, frame []byte) error {
+	f := mgmt.JournalFrame{
+		Leader: r.cfg.ID, Term: r.term(),
+		Offset: offset, PrefixCRC: prefixCRC, Frames: frame,
+	}
 	for _, p := range r.cfg.Peers {
 		r.sendTo(p, mgmt.TypeJournalFrame, f)
 	}
@@ -428,31 +501,40 @@ func (r *Replicator) onAppend(offset int64, frame []byte) error {
 // HandleAck folds a standby's durable-length report in, wakes rollouts
 // whose quorum it completes, and starts catch-up for a standby that is
 // behind (unless the ack's term says this leader was deposed — a newer
-// leader owns that standby now).
+// leader owns that standby now). Only acks fenced with THIS leader's
+// term enter the quorum accounting: a standby that refused a stale
+// frame, or one still verified against an older leader, still acks with
+// its current length, and under a different term that length can name
+// different bytes — counting it would let WaitQuorum release a record
+// that is on no quorum.
 func (r *Replicator) HandleAck(a mgmt.JournalAck) {
-	r.mu.Lock()
-	if a.Bytes > r.acked[a.Standby] {
-		r.acked[a.Standby] = a.Bytes
-	}
-	var wake []chan struct{}
-	if len(r.waiters) > 0 {
-		q := r.quorumBytesLocked()
-		kept := r.waiters[:0]
-		for _, w := range r.waiters {
-			if q >= w.offset {
-				wake = append(wake, w.ch)
-			} else {
-				kept = append(kept, w)
-			}
+	term := r.term()
+	behind := a.Bytes
+	if a.Term == term {
+		r.mu.Lock()
+		if a.Bytes > r.acked[a.Standby] {
+			r.acked[a.Standby] = a.Bytes
 		}
-		r.waiters = kept
+		var wake []chan struct{}
+		if len(r.waiters) > 0 {
+			q := r.quorumBytesLocked()
+			kept := r.waiters[:0]
+			for _, w := range r.waiters {
+				if q >= w.offset {
+					wake = append(wake, w.ch)
+				} else {
+					kept = append(kept, w)
+				}
+			}
+			r.waiters = kept
+		}
+		behind = r.acked[a.Standby]
+		r.mu.Unlock()
+		for _, ch := range wake {
+			close(ch)
+		}
 	}
-	behind := r.acked[a.Standby]
-	r.mu.Unlock()
-	for _, ch := range wake {
-		close(ch)
-	}
-	if a.Term <= r.term() && behind < r.j.Size() {
+	if a.Term <= term && behind < r.j.Size() {
 		r.sendChunk(a.Standby, behind)
 	}
 }
@@ -465,14 +547,19 @@ func (r *Replicator) HandleFetch(f mgmt.JournalFetch) {
 	r.sendChunk(f.Standby, f.From)
 }
 
-// sendChunk ships raw journal bytes from the given offset.
+// sendChunk ships raw journal bytes from the given offset, stamped with
+// the prefix CRC below it so the standby can verify alignment.
 func (r *Replicator) sendChunk(to int, from int64) {
+	crc, err := r.j.CRCAt(from)
+	if err != nil {
+		return
+	}
 	buf, err := r.j.ReadChunk(from, r.cfg.ChunkBytes)
 	if err != nil || len(buf) == 0 {
 		return
 	}
 	r.sendTo(to, mgmt.TypeJournalFrame, mgmt.JournalFrame{
-		Leader: r.cfg.ID, Term: r.term(), Offset: from, Frames: buf,
+		Leader: r.cfg.ID, Term: r.term(), Offset: from, PrefixCRC: crc, Frames: buf,
 	})
 	if r.cStreamed != nil {
 		r.cStreamed.Add(int64(len(buf)))

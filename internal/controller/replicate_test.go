@@ -1,0 +1,275 @@
+package controller
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sdme/internal/mgmt"
+)
+
+// stubClock never fires timers — elections driven purely by Deliver.
+type stubClock struct{}
+
+func (stubClock) NowUS() int64                 { return 0 }
+func (stubClock) AfterUS(int64, func()) func() { return func() {} }
+
+type sentMsg struct {
+	to  int
+	env *mgmt.Envelope
+}
+
+// captureTransport records every peer envelope for the test to route.
+type captureTransport struct {
+	mu   sync.Mutex
+	sent []sentMsg
+}
+
+func (t *captureTransport) Send(to int, env *mgmt.Envelope) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := &mgmt.Envelope{T: env.T, Data: append([]byte(nil), env.Data...)}
+	t.sent = append(t.sent, sentMsg{to: to, env: cp})
+	return nil
+}
+
+func (t *captureTransport) drain() []sentMsg {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.sent
+	t.sent = nil
+	return out
+}
+
+// TestLeaseUpToDateCheckComparesLastTerm: the voter must apply Raft's
+// lexicographic (lastTerm, bytes) criterion, not bytes alone — a
+// deposed leader's longer journal with an un-acked tail (staler
+// lastTerm) must be refused, or quorum-acked records could be lost on
+// takeover.
+func TestLeaseUpToDateCheckComparesLastTerm(t *testing.T) {
+	tr := &captureTransport{}
+	e := NewElector(ElectorConfig{
+		ID: 0, Peers: []int{1}, Quorum: 2,
+		Clock:           stubClock{},
+		Transport:       tr,
+		JournalBytes:    func() int64 { return 50 },
+		JournalLastTerm: func() uint64 { return 2 },
+	})
+	bid := func(term, lastTerm uint64, bytes int64) bool {
+		t.Helper()
+		data, err := json.Marshal(mgmt.LeaseRequest{
+			Candidate: 1, Term: term, JournalBytes: bytes, LastTerm: lastTerm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Deliver(&mgmt.Envelope{T: mgmt.TypeLeaseRequest, Data: data})
+		for _, m := range tr.drain() {
+			if m.env.T != mgmt.TypeLeaseGrant {
+				continue
+			}
+			var g mgmt.LeaseGrant
+			if err := json.Unmarshal(m.env.Data, &g); err != nil {
+				t.Fatal(err)
+			}
+			return g.Granted
+		}
+		t.Fatalf("no grant reply for term %d", term)
+		return false
+	}
+	if bid(3, 1, 100) {
+		t.Fatal("granted lease to a longer journal with a staler lastTerm (the deposed-leader bug)")
+	}
+	if !bid(4, 2, 50) {
+		t.Fatal("refused an equally up-to-date candidate")
+	}
+	if bid(5, 2, 49) {
+		t.Fatal("granted lease to a shorter journal at equal lastTerm")
+	}
+	if !bid(6, 3, 0) {
+		t.Fatal("refused a candidate with a newer lastTerm")
+	}
+}
+
+// pump routes captured envelopes between one replicator and one standby
+// until the exchange quiesces, with a hop budget so a fetch/resend
+// livelock fails the test instead of hanging it.
+func pump(t *testing.T, tr *captureTransport, repl *Replicator, sb *Standby, maxRounds int) {
+	t.Helper()
+	for i := 0; i < maxRounds; i++ {
+		msgs := tr.drain()
+		if len(msgs) == 0 {
+			return
+		}
+		for _, m := range msgs {
+			switch m.env.T {
+			case mgmt.TypeJournalFrame:
+				var f mgmt.JournalFrame
+				if err := json.Unmarshal(m.env.Data, &f); err != nil {
+					t.Fatal(err)
+				}
+				sb.HandleFrame(f)
+			case mgmt.TypeJournalFetch:
+				var f mgmt.JournalFetch
+				if err := json.Unmarshal(m.env.Data, &f); err != nil {
+					t.Fatal(err)
+				}
+				repl.HandleFetch(f)
+			case mgmt.TypeJournalAck:
+				var a mgmt.JournalAck
+				if err := json.Unmarshal(m.env.Data, &a); err != nil {
+					t.Fatal(err)
+				}
+				repl.HandleAck(a)
+			}
+		}
+	}
+	t.Fatalf("replication did not quiesce within %d rounds (fetch/resend livelock)", maxRounds)
+}
+
+// TestStandbyShorterDivergedResyncs: a standby that is SHORTER than the
+// leader but diverged (it applied a dead leader's un-acked tail) used to
+// fetch from its own length — generally not a frame boundary in the
+// leader's journal — and livelock on undecodable chunks while silently
+// staying in the quorum. The prefix CRC on every frame must instead
+// trigger a full resync that converges to the leader's exact bytes.
+func TestStandbyShorterDivergedResyncs(t *testing.T) {
+	dir := t.TempDir()
+	lj, err := OpenJournal(filepath.Join(dir, "leader.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lj.Close() //nolint:errcheck // test teardown
+	for i := uint64(1); i <= 3; i++ {
+		if err := lj.LogEpoch(i, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Diverged standby: one record the leader never wrote — shorter than
+	// the leader's journal but not its prefix.
+	spath := filepath.Join(dir, "standby.wal")
+	dj, err := OpenJournal(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dj.LogEpoch(999_999, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sj, err := OpenStandbyJournal(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sj.Close() //nolint:errcheck // test teardown
+	if sj.Bytes() >= lj.Size() {
+		t.Fatalf("test setup: standby (%d bytes) not shorter than leader (%d bytes)", sj.Bytes(), lj.Size())
+	}
+
+	tr := &captureTransport{}
+	repl := NewReplicator(ReplicatorConfig{
+		ID: 0, Peers: []int{1}, Quorum: 2, Transport: tr,
+		Term: func() uint64 { return 2 },
+	}, lj)
+	defer repl.Detach()
+	var lastTerm uint64
+	sb := NewStandby(StandbyConfig{
+		ID: 1, Transport: tr,
+		Term:     func() uint64 { return 2 },
+		LastTerm: func() uint64 { return lastTerm },
+		OnVerified: func(term uint64) {
+			if term > lastTerm {
+				lastTerm = term
+			}
+		},
+	}, sj)
+
+	sb.HandleHeartbeat(mgmt.Heartbeat{
+		Leader: 0, Term: 2, JournalBytes: lj.Size(), JournalCRC: lj.CRC(),
+	})
+	pump(t, tr, repl, sb, 50)
+
+	if sj.Bytes() != lj.Size() || sj.CRC() != lj.CRC() {
+		t.Fatalf("standby did not converge: %d bytes CRC %#x vs leader %d bytes CRC %#x",
+			sj.Bytes(), sj.CRC(), lj.Size(), lj.CRC())
+	}
+	if got := repl.AckedBytes(1); got != lj.Size() {
+		t.Fatalf("leader accounts %d acked bytes, want %d", got, lj.Size())
+	}
+	if lastTerm != 2 {
+		t.Fatalf("standby journal fence is %d after verified resync, want 2", lastTerm)
+	}
+}
+
+// TestHandleAckIgnoresOtherTermForQuorum: an ack fenced with a term
+// other than the replicator's reports a length that can name different
+// bytes (a refused stale frame still acks, and a diverged journal can be
+// long); folding it into the quorum accounting would let WaitQuorum
+// release records that are on no quorum.
+func TestHandleAckIgnoresOtherTermForQuorum(t *testing.T) {
+	dir := t.TempDir()
+	lj, err := OpenJournal(filepath.Join(dir, "leader.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lj.Close() //nolint:errcheck // test teardown
+	if err := lj.LogEpoch(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr := &captureTransport{}
+	r := NewReplicator(ReplicatorConfig{
+		ID: 0, Peers: []int{1, 2}, Quorum: 2, Transport: tr,
+		Term: func() uint64 { return 2 },
+	}, lj)
+	defer r.Detach()
+	size := lj.Size()
+
+	r.HandleAck(mgmt.JournalAck{Standby: 1, Term: 1, Bytes: size})
+	if got := r.QuorumBytes(); got != 0 {
+		t.Fatalf("stale-term ack advanced the quorum mark to %d", got)
+	}
+	if got := r.AckedBytes(1); got != 0 {
+		t.Fatalf("stale-term ack recorded %d acked bytes", got)
+	}
+	r.HandleAck(mgmt.JournalAck{Standby: 1, Term: 3, Bytes: size})
+	if got := r.QuorumBytes(); got != 0 {
+		t.Fatalf("newer-term ack (deposed leader) advanced the quorum mark to %d", got)
+	}
+	r.HandleAck(mgmt.JournalAck{Standby: 1, Term: 2, Bytes: size})
+	if got := r.QuorumBytes(); got != size {
+		t.Fatalf("current-term ack left the quorum mark at %d, want %d", got, size)
+	}
+}
+
+// TestJournalCRCAt: the prefix CRC a catch-up chunk carries must agree
+// with the running CRC the journal maintains incrementally.
+func TestJournalCRCAt(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(filepath.Join(dir, "j.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close() //nolint:errcheck // test teardown
+	if err := j.LogEpoch(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	mid := j.Size()
+	midCRC := j.CRC()
+	if err := j.LogEpoch(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if crc, err := j.CRCAt(0); err != nil || crc != 0 {
+		t.Fatalf("CRCAt(0) = %#x, %v; want 0, nil", crc, err)
+	}
+	if crc, err := j.CRCAt(mid); err != nil || crc != midCRC {
+		t.Fatalf("CRCAt(%d) = %#x, %v; want %#x, nil", mid, crc, err, midCRC)
+	}
+	if crc, err := j.CRCAt(j.Size()); err != nil || crc != j.CRC() {
+		t.Fatalf("CRCAt(size) = %#x, %v; want %#x, nil", crc, err, j.CRC())
+	}
+	if _, err := j.CRCAt(j.Size() + 1); err == nil {
+		t.Fatal("CRCAt past the journal end did not error")
+	}
+}

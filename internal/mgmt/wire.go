@@ -168,13 +168,18 @@ type Commit struct {
 }
 
 // LeaseRequest is a candidate's term-scoped bid for leadership.
-// JournalBytes is the candidate's intact journal length; a voter whose
-// own journal is longer refuses the lease, so a stale standby can never
-// depose a replica holding records it lacks.
+// (LastTerm, JournalBytes) is the candidate's up-to-date mark — Raft's
+// criterion: LastTerm is the term of the leader that last verifiably
+// extended the candidate's journal, JournalBytes its intact length. A
+// voter refuses the lease unless the candidate's pair is
+// lexicographically >= its own. Length alone is not enough: a deposed
+// leader's un-acked tail can be longer than a newer leader's
+// quorum-acked journal, and electing it would lose acked records.
 type LeaseRequest struct {
 	Candidate    int    `json:"candidate"`
 	Term         uint64 `json:"term"`
 	JournalBytes int64  `json:"journal_bytes"`
+	LastTerm     uint64 `json:"last_term,omitempty"`
 }
 
 // LeaseGrant answers a LeaseRequest. Term echoes the voter's term (the
@@ -223,7 +228,16 @@ type JournalFrame struct {
 	Leader int    `json:"leader"`
 	Term   uint64 `json:"term"`
 	Offset int64  `json:"offset"`
-	Frames []byte `json:"frames"`
+	// PrefixCRC is the running CRC-32 (IEEE) over the leader's journal
+	// bytes [0, Offset). A standby applies the batch only when the CRC
+	// over its own journal matches — proof that its journal IS the
+	// leader's prefix. Without it, a shorter-but-diverged standby (one
+	// that applied a dead leader's un-acked tail) would fetch from its own
+	// length, which is generally not a frame boundary in the leader's
+	// journal, and loop forever on undecodable chunks; the mismatch
+	// instead triggers a full resync from offset zero.
+	PrefixCRC uint32 `json:"prefix_crc,omitempty"`
+	Frames    []byte `json:"frames"`
 }
 
 // JournalFetch asks the leader for journal records from a byte offset —
@@ -234,7 +248,13 @@ type JournalFetch struct {
 }
 
 // JournalAck reports a standby's durable journal length after applying
-// (or refusing) a frame batch; the leader's quorum accounting reads it.
+// (or refusing) a frame batch. Term is the fence term the standby
+// verified its journal against — the frame's term after a prefix-checked
+// apply, or the standby's own higher fence on a stale refusal. The
+// leader's quorum accounting counts only acks whose Term equals its own:
+// a refused stale frame still produces an ack, and under a newer leader
+// that ack's length can name different bytes, so it must never satisfy
+// this leader's stream-before-ack gate.
 type JournalAck struct {
 	Standby int    `json:"standby"`
 	Term    uint64 `json:"term"`

@@ -79,6 +79,96 @@ func TestElectionAtMostOneLeaderPerTerm(t *testing.T) {
 	}
 }
 
+// TestTakeoverRefusesLongerButStalerJournal replays the scenario where
+// a length-only up-to-date check loses quorum-acked records: leader A
+// gets partitioned and appends an un-acked tail; B wins the next term
+// and quorum-acks records (including its term marker) to C; B dies
+// before A ever resyncs; A heals and bids with a LONGER journal than
+// C's. A must lose the election (staler lastTerm), C must win holding
+// the acked records, and A's diverged tail must then be resynced away.
+func TestTakeoverRefusesLongerButStalerJournal(t *testing.T) {
+	dir := t.TempDir()
+	eng := sim.NewEngine()
+	g, err := sim.NewControllerGroup(eng, sim.ControllerGroupConfig{
+		Dir: dir, LeaseUS: 10_000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	idA, termA, _ := g.RunUntilLeader(2_000_000, 1)
+	if idA < 0 {
+		t.Fatal("no first leader")
+	}
+	// Partition A from both peers, then let it append an un-acked tail —
+	// records no other replica will ever hold.
+	for p := 0; p < g.N(); p++ {
+		if p != idA {
+			g.SetPartitioned(idA, p, true)
+		}
+	}
+	ja := g.Replica(idA).Journal()
+	if ja == nil {
+		t.Fatal("partitioned leader lost its journal handle before self-deposing")
+	}
+	for i := uint64(0); i < 8; i++ {
+		if err := ja.LogEpoch(100+i, termA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// B wins the next term on the majority side and quorum-acks its term
+	// marker to C.
+	idB, termB, _ := g.RunUntilLeader(eng.Now()+2_000_000, termA+1)
+	if idB < 0 {
+		t.Fatal("no takeover on the majority side")
+	}
+	if idB == idA {
+		t.Fatalf("partitioned replica %d won term %d", idA, termB)
+	}
+	idC := -1
+	for p := 0; p < g.N(); p++ {
+		if p != idA && p != idB {
+			idC = p
+		}
+	}
+	// Give replication a moment to land the term marker on C, then kill B
+	// before A ever hears from it.
+	eng.Run(eng.Now() + 100_000)
+	g.Kill(idB)
+	for p := 0; p < g.N(); p++ {
+		if p != idA {
+			g.SetPartitioned(idA, p, false)
+		}
+	}
+	if g.Replica(idA).JournalBytes() <= g.Replica(idC).JournalBytes() {
+		t.Fatalf("test setup: A (%d bytes) not longer than C (%d bytes), scenario void",
+			g.Replica(idA).JournalBytes(), g.Replica(idC).JournalBytes())
+	}
+	idNew, termNew, _ := g.RunUntilLeader(eng.Now()+3_000_000, termB+1)
+	if idNew < 0 {
+		t.Fatal("no leader after healing the partition")
+	}
+	if idNew != idC {
+		t.Fatalf("replica %d won term %d; want %d — the longer-but-staler journal was elected",
+			idNew, termNew, idC)
+	}
+	// The quorum-acked term-B marker must have survived takeover...
+	st, err := controller.ReplayJournal(fmt.Sprintf("%s/replica-%d.wal", dir, idC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Term < termB {
+		t.Fatalf("new leader's journal replays term %d, lost the quorum-acked term-%d record", st.Term, termB)
+	}
+	// ...and A's diverged tail must be resynced to the new leader's bytes.
+	eng.Run(eng.Now() + 1_000_000)
+	a, c := g.Replica(idA), g.Replica(idC)
+	if a.JournalBytes() != c.JournalBytes() || a.JournalCRC() != c.JournalCRC() {
+		t.Fatalf("A did not converge to the new leader: %d bytes CRC %#x vs %d bytes CRC %#x",
+			a.JournalBytes(), a.JournalCRC(), c.JournalBytes(), c.JournalCRC())
+	}
+}
+
 // electionHistory runs one seeded group through a kill and a healed
 // partition and returns its promotion trace.
 func electionHistory(t *testing.T, dir string, seed int64) []sim.Promotion {
