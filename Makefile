@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt verify-examples chaos fuzz cover check
+.PHONY: all build test race vet fmt verify-examples chaos fuzz cover check \
+	bench bench-smoke race-stress
 
 all: build
 
@@ -77,5 +78,25 @@ cover:
 verify-examples:
 	$(GO) run ./cmd/sdme-topo -topology campus -verify
 	$(GO) run ./cmd/sdme-topo -topology waxman -verify
+
+# Dataplane throughput/latency grid (workers × shards, both substrates) →
+# results/bench_dataplane.json. Exits nonzero if the simulated substrate
+# fails the ≥2× 16-vs-1-worker scaling gate (the sim numbers come from a
+# deterministic virtual-time pipeline model, so the gate is reproducible
+# on any host, including single-core CI). bench-smoke is the reduced CI
+# variant.
+bench:
+	$(GO) run ./cmd/sdme-bench -suite dataplane -out results
+
+bench-smoke:
+	$(GO) run ./cmd/sdme-bench -suite dataplane -smoke -out results
+
+# Concurrency stress under the race detector: 8 writer goroutines + a
+# sweeper on the sharded tables (duplicate tunnel-ID and resurrection
+# invariants), plus the live worker-pool ordering/shutdown suite.
+# -count=5 shakes out schedule-dependent interleavings.
+race-stress:
+	$(GO) test -race -count=5 -run 'Stress|WorkerPool|FlowWorkerHash' \
+		./internal/flowtable/ ./internal/live/
 
 check: build fmt vet verify-examples race

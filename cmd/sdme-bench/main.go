@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	sdme-bench [-out results] [-seed 20] [-quick]
+//	sdme-bench [-suite paper|dataplane] [-out results] [-seed 20] [-quick] [-smoke]
 //
 // -quick runs a reduced traffic sweep (useful for smoke checks); the
 // default regenerates the full 1M–10M packet series of Figures 4 and 5.
+//
+// -suite dataplane runs the sharded-dataplane throughput/latency grid
+// (workers × shards on both substrates) and writes
+// results/bench_dataplane.json; it exits nonzero if the simulated
+// substrate fails the ≥2× 16-vs-1-worker scaling gate. -smoke shrinks it
+// for CI.
 package main
 
 import (
@@ -32,10 +38,19 @@ func run() error {
 	seed := flag.Int64("seed", 20, "seed for topology, placement and workload")
 	quick := flag.Bool("quick", false, "reduced sweep for smoke checks")
 	multiseed := flag.Int("multiseed", 0, "additionally average the campus point over N seeds")
+	suite := flag.String("suite", "paper", "benchmark suite: paper (figures/tables) or dataplane (worker/shard scaling)")
+	smoke := flag.Bool("smoke", false, "dataplane suite only: reduced packet counts for CI")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
+	}
+	switch *suite {
+	case "dataplane":
+		return runDataplaneSuite(*out, *seed, *smoke)
+	case "paper":
+	default:
+		return fmt.Errorf("unknown suite %q (want paper or dataplane)", *suite)
 	}
 	traffic := []int(nil) // default: paper's 1M..10M
 	tablePoint := 10000000
@@ -251,5 +266,42 @@ func run() error {
 		return fmt.Errorf("close %s: %w", md.Name(), err)
 	}
 	fmt.Println("markdown -> " + md.Name())
+	return nil
+}
+
+// runDataplaneSuite runs the worker×shard throughput/latency grid and
+// enforces the simulated substrate's scaling gate.
+func runDataplaneSuite(out string, seed int64, smoke bool) error {
+	cfg := experiments.DataplaneConfig{Seed: seed}
+	if smoke {
+		cfg.SimPackets = 30000
+		cfg.LivePackets = 800
+		cfg.Flows = 128
+	}
+	start := time.Now()
+	res, err := experiments.RunDataplaneBench(cfg)
+	if err != nil {
+		return err
+	}
+	res.Generated = time.Now().UTC().Format(time.RFC3339)
+	path := filepath.Join(out, "bench_dataplane.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteDataplaneJSON(f, res); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Print(experiments.DataplaneMarkdown(res))
+	fmt.Printf("dataplane: %d points -> %s (%v)\n",
+		len(res.Points), path, time.Since(start).Round(time.Millisecond))
+	if !res.Gate.Pass {
+		return fmt.Errorf("scaling gate failed: sim %dw/%ds speedup %.2fx < %.1fx",
+			res.Gate.Workers, res.Gate.Shards, res.Gate.Measured, res.Gate.MinSpeedup)
+	}
 	return nil
 }

@@ -63,6 +63,8 @@ func run() error {
 	journalPath := flag.String("journal", "", "controller write-ahead journal: replayed on start if present, appended during the run (empty: disabled)")
 	twophase := flag.Bool("twophase", true, "push the initial plan with the epoch-fenced prepare/commit protocol")
 	peers := flag.Int("peers", 0, "controller replicas; >0 runs the replicated-HA takeover demo over real sockets instead of the single-controller demo")
+	workers := flag.Int("workers", 0, "dataplane workers per device (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 16, "flow/label table shards per device (local tuning, survives config pushes)")
 	flag.Parse()
 
 	if *peers > 0 {
@@ -155,6 +157,7 @@ func run() error {
 	// Dataplane devices + their management agents.
 	rt := live.NewRuntime()
 	defer rt.Close()
+	rt.SetDefaultWorkers(*workers)
 
 	// Observability: one registry on the runtime's wall clock, shared by
 	// the fabric, the dataplane nodes, the management channel and the
@@ -184,9 +187,16 @@ func run() error {
 	var ids []topo.NodeID
 	for id, n := range nodes {
 		// Attach before AddDevice: the device goroutine owns the node
-		// from then on.
+		// from then on. Shard tuning is local (never on the wire), so it
+		// is set here and re-applied by every subsequent config install.
 		n.SetMetrics(reg)
 		n.SetTracer(tracer)
+		if *shards > 0 {
+			n.SetShardTuning(*shards, *shards)
+			if err := n.Install(n.Config()); err != nil {
+				return err
+			}
+		}
 		dev, err := rt.AddDevice(n)
 		if err != nil {
 			return err

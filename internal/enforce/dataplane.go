@@ -2,6 +2,7 @@ package enforce
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sdme/internal/flowtable"
 	"sdme/internal/netaddr"
@@ -29,10 +30,10 @@ type Forwarder interface {
 // applies (§III-B).
 func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) error {
 	if !n.IsProxy {
-		n.Counters.Misdirected++
+		atomic.AddInt64(&n.Counters.Misdirected, 1)
 		return fmt.Errorf("enforce: HandleOutbound on middlebox %v", n.ID)
 	}
-	n.Counters.PacketsIn++
+	atomic.AddInt64(&n.Counters.PacketsIn, 1)
 	if n.nm != nil {
 		n.nm.packetsIn.Inc()
 	}
@@ -43,15 +44,18 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 	// Measurement: every policy-matching packet is tallied for the
 	// controller (§III-C).
 	if !entry.Null {
-		n.meas[MeasKey{
+		k := MeasKey{
 			PolicyID:  entry.PolicyID,
 			SrcSubnet: n.SubnetIdx,
 			DstSubnet: n.dep.SubnetIndexOf(ft.Dst),
-		}]++
+		}
+		n.measMu.Lock()
+		n.meas[k]++
+		n.measMu.Unlock()
 	}
 
 	if entry.Null || entry.Actions.IsPermit() {
-		n.Counters.PlainTx++
+		atomic.AddInt64(&n.Counters.PlainTx, 1)
 		n.trace(ft, HopForward, 0, now)
 		fwd.Send(n, pkt)
 		return nil
@@ -62,14 +66,14 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 	if err != nil {
 		return err
 	}
-	entry.Pin(next)
+	n.flows.PinEntry(entry, next)
 	nextAddr := n.dep.AddrOf(next)
 
 	if n.cfg.LabelSwitching && entry.LabelSwitched && entry.Label != 0 {
 		// Established chain: rewrite the destination and ride the label.
 		if err := pkt.EmbedLabel(entry.Label); err == nil {
 			pkt.Inner.Dst = nextAddr
-			n.Counters.LabelTx++
+			atomic.AddInt64(&n.Counters.LabelTx, 1)
 			fwd.Send(n, pkt)
 			return nil
 		}
@@ -88,7 +92,7 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 	if err := pkt.Encapsulate(n.Addr, nextAddr); err != nil {
 		return err
 	}
-	n.Counters.TunnelTx++
+	atomic.AddInt64(&n.Counters.TunnelTx, 1)
 	n.trace(ft, HopEncap, first, now)
 	fwd.Send(n, pkt)
 	return nil
@@ -99,10 +103,10 @@ func (n *Node) HandleOutbound(pkt *packet.Packet, now int64, fwd Forwarder) erro
 // packets of a flow) or label-switched (subsequent packets).
 func (n *Node) HandleArrival(pkt *packet.Packet, now int64, fwd Forwarder) error {
 	if n.IsProxy {
-		n.Counters.Misdirected++
+		atomic.AddInt64(&n.Counters.Misdirected, 1)
 		return fmt.Errorf("enforce: HandleArrival on proxy %v", n.ID)
 	}
-	n.Counters.PacketsIn++
+	atomic.AddInt64(&n.Counters.PacketsIn, 1)
 	if n.nm != nil {
 		n.nm.packetsIn.Inc()
 	}
@@ -124,15 +128,15 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		// The proxy only tunnels policy traffic; a null here means our
 		// P_x is inconsistent with the proxy's. Forward plain rather
 		// than blackhole, and count it.
-		n.Counters.Misdirected++
-		n.Counters.PlainTx++
+		atomic.AddInt64(&n.Counters.Misdirected, 1)
+		atomic.AddInt64(&n.Counters.PlainTx, 1)
 		fwd.Send(n, pkt)
 		return nil
 	}
 
 	myFunc, ok := n.myFunc(entry.Actions)
 	if !ok {
-		n.Counters.Misdirected++
+		atomic.AddInt64(&n.Counters.Misdirected, 1)
 		return fmt.Errorf("enforce: middlebox %v got chain %v it cannot serve", n.ID, entry.Actions)
 	}
 
@@ -152,10 +156,10 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 	verdict := n.observedProcess(myFunc, ft, pkt, now)
 	switch verdict {
 	case nf.VerdictDrop:
-		n.Counters.Dropped++
+		atomic.AddInt64(&n.Counters.Dropped, 1)
 		return nil
 	case nf.VerdictServe:
-		n.Counters.Served++
+		atomic.AddInt64(&n.Counters.Served, 1)
 		return nil
 	}
 
@@ -163,11 +167,11 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		// Chain complete: notify the proxy (outer source held its
 		// address along the whole chain) and forward the original.
 		if n.cfg.LabelSwitching && lbl != 0 {
-			n.Counters.ControlTx++
+			atomic.AddInt64(&n.Counters.ControlTx, 1)
 			fwd.SendControl(n, outer.Src, ft)
 		}
 		pkt.ClearLabel()
-		n.Counters.PlainTx++
+		atomic.AddInt64(&n.Counters.PlainTx, 1)
 		n.trace(ft, HopForward, 0, now)
 		fwd.Send(n, pkt)
 		return nil
@@ -178,13 +182,13 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 		return err
 	}
 	if lblEntry != nil {
-		lblEntry.Pin(next)
+		n.labels.PinEntry(lblEntry, next)
 	}
 	// Re-tunnel, preserving the proxy as outer source (§III-E).
 	if err := pkt.Encapsulate(outer.Src, n.dep.AddrOf(next)); err != nil {
 		return err
 	}
-	n.Counters.TunnelTx++
+	atomic.AddInt64(&n.Counters.TunnelTx, 1)
 	n.trace(ft, HopEncap, nextFunc, now)
 	fwd.Send(n, pkt)
 	return nil
@@ -193,7 +197,7 @@ func (n *Node) handleTunneled(pkt *packet.Packet, now int64, fwd Forwarder) erro
 func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error {
 	lbl := pkt.Label()
 	if !n.cfg.LabelSwitching || lbl == 0 {
-		n.Counters.Misdirected++
+		atomic.AddInt64(&n.Counters.Misdirected, 1)
 		return fmt.Errorf("enforce: middlebox %v got unlabeled plain packet %v", n.ID, pkt)
 	}
 	k := flowtable.LabelKey{Src: pkt.Inner.Src, Label: lbl}
@@ -201,34 +205,34 @@ func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error
 	if !ok {
 		// Soft state expired or never installed; without the original
 		// destination we cannot recover the flow. Count and drop.
-		n.Counters.LabelMiss++
+		atomic.AddInt64(&n.Counters.LabelMiss, 1)
 		return nil
 	}
 
 	myFunc, ok := n.myFunc(entry.Actions)
 	if !ok {
-		n.Counters.Misdirected++
+		atomic.AddInt64(&n.Counters.Misdirected, 1)
 		return fmt.Errorf("enforce: middlebox %v got labeled chain %v it cannot serve", n.ID, entry.Actions)
 	}
 	verdict := n.observedProcess(myFunc, entry.Flow, pkt, now)
 	switch verdict {
 	case nf.VerdictDrop:
-		n.Counters.Dropped++
+		atomic.AddInt64(&n.Counters.Dropped, 1)
 		return nil
 	case nf.VerdictServe:
-		n.Counters.Served++
+		atomic.AddInt64(&n.Counters.Served, 1)
 		return nil
 	}
 
 	nextFunc, hasNext := entry.Actions.Next(myFunc)
 	if !hasNext {
 		if !entry.HasDst {
-			n.Counters.LabelMiss++
+			atomic.AddInt64(&n.Counters.LabelMiss, 1)
 			return fmt.Errorf("enforce: tail label entry without destination at %v", n.ID)
 		}
 		pkt.Inner.Dst = entry.Dst
 		pkt.ClearLabel()
-		n.Counters.PlainTx++
+		atomic.AddInt64(&n.Counters.PlainTx, 1)
 		n.trace(entry.Flow, HopForward, 0, now)
 		fwd.Send(n, pkt)
 		return nil
@@ -239,9 +243,9 @@ func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error
 	if err != nil {
 		return err
 	}
-	entry.Pin(next)
+	n.labels.PinEntry(entry, next)
 	pkt.Inner.Dst = n.dep.AddrOf(next)
-	n.Counters.LabelTx++
+	atomic.AddInt64(&n.Counters.LabelTx, 1)
 	fwd.Send(n, pkt)
 	return nil
 }
@@ -249,7 +253,7 @@ func (n *Node) handleLabeled(pkt *packet.Packet, now int64, fwd Forwarder) error
 // process runs the node's function instance on the packet and counts the
 // load (the Figures 4/5 metric).
 func (n *Node) process(f policy.FuncType, pkt *packet.Packet, now int64) nf.Verdict {
-	n.Counters.Load++
+	atomic.AddInt64(&n.Counters.Load, 1)
 	fn := n.Funcs[f]
 	if fn == nil {
 		return nf.VerdictPass
@@ -283,10 +287,10 @@ func (n *Node) observedProcess(f policy.FuncType, flow netaddr.FiveTuple, pkt *p
 // it flips the flow's label-switching flag.
 func (n *Node) HandleControl(flow netaddr.FiveTuple, now int64) {
 	if !n.IsProxy {
-		n.Counters.Misdirected++
+		atomic.AddInt64(&n.Counters.Misdirected, 1)
 		return
 	}
-	n.Counters.ControlRx++
+	atomic.AddInt64(&n.Counters.ControlRx, 1)
 	n.flows.FlagLabelSwitched(flow, now)
 }
 

@@ -123,6 +123,6 @@ func (n *Node) InvalidateProvider(mb topo.NodeID) int {
 			return e.Pinned && e.NextHop == mb
 		})
 	}
-	n.Counters.Invalidated += int64(total)
+	atomic.AddInt64(&n.Counters.Invalidated, int64(total))
 	return total
 }

@@ -2,6 +2,8 @@ package enforce
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sdme/internal/flowtable"
 	"sdme/internal/netaddr"
@@ -72,6 +74,11 @@ type Config struct {
 	FlowTTL, LabelTTL int64
 	// UseTrie selects the trie classifier instead of the linear table.
 	UseTrie bool
+	// FlowShards / LabelShards set the lock-striping factor of the
+	// soft-state tables (rounded to a power of two; 0 and 1 both mean
+	// unsharded). Local tuning, not part of the controller wire config:
+	// the right value depends on the device's worker count, not policy.
+	FlowShards, LabelShards int
 }
 
 // Counters aggregates a node's dataplane activity. The figure benchmarks
@@ -112,8 +119,18 @@ type MeasKey struct {
 }
 
 // Node is one software-defined device: a policy proxy or a middlebox.
-// Nodes are single-owner: the simulator or the live runtime drives each
-// from one goroutine.
+//
+// Concurrency contract: configuration mutators (Install, SetWeights,
+// SetCandidates, SetStrategy, SetMetrics, SetTracer, ResetMeasurements)
+// must be serialized with packet handling — the live runtime quiesces its
+// worker pool around them, the simulator is single-threaded. Packet
+// handlers (HandleOutbound/HandleArrival/HandleControl) may run
+// concurrently from multiple workers PROVIDED all packets and control
+// frames of one flow stay on one worker (flow-affinity dispatch): the
+// soft-state tables are internally lock-striped and cross-flow mutation
+// goes through shard-locked table methods, but per-entry field access
+// relies on per-flow serialization. Counters are updated atomically;
+// read them via CountersSnapshot when workers may be running.
 type Node struct {
 	ID      topo.NodeID
 	Addr    netaddr.Addr
@@ -128,7 +145,12 @@ type Node struct {
 	classifier policy.Classifier
 	flows      *flowtable.Table
 	labels     *flowtable.LabelTable
-	meas       map[MeasKey]int64
+
+	// meas is guarded by measMu: proxies tally measurements on the packet
+	// path, where multiple workers may race on flows of different
+	// subnets/policies. The critical section is one map increment.
+	measMu sync.Mutex
+	meas   map[MeasKey]int64
 
 	// live is the node's provider-liveness view (liveness.go); unlike the
 	// rest of the node it is internally synchronized, because the live
@@ -140,9 +162,39 @@ type Node struct {
 	nm     *nodeMetrics
 	tracer *RuntimeTracer
 
+	// flowShardPref / labelShardPref are the node-local striping defaults
+	// set by SetShardTuning; Install falls back to them when the incoming
+	// Config carries no shard counts (wire configs never do — striping is
+	// local capacity tuning, not policy).
+	flowShardPref, labelShardPref int
+
 	// Counters is exported for inspection; treat as read-only outside
-	// the node's owner.
+	// the node's owner, and use CountersSnapshot instead while dataplane
+	// workers may be running (fields are updated with atomics).
 	Counters Counters
+}
+
+// CountersSnapshot returns an atomically-read copy of the node's counters,
+// safe to call while packet workers are running.
+func (n *Node) CountersSnapshot() Counters {
+	c := &n.Counters
+	return Counters{
+		PacketsIn:   atomic.LoadInt64(&c.PacketsIn),
+		Load:        atomic.LoadInt64(&c.Load),
+		Classified:  atomic.LoadInt64(&c.Classified),
+		TunnelTx:    atomic.LoadInt64(&c.TunnelTx),
+		LabelTx:     atomic.LoadInt64(&c.LabelTx),
+		PlainTx:     atomic.LoadInt64(&c.PlainTx),
+		ControlTx:   atomic.LoadInt64(&c.ControlTx),
+		ControlRx:   atomic.LoadInt64(&c.ControlRx),
+		Dropped:     atomic.LoadInt64(&c.Dropped),
+		Served:      atomic.LoadInt64(&c.Served),
+		NoProvider:  atomic.LoadInt64(&c.NoProvider),
+		LabelMiss:   atomic.LoadInt64(&c.LabelMiss),
+		Misdirected: atomic.LoadInt64(&c.Misdirected),
+		Failovers:   atomic.LoadInt64(&c.Failovers),
+		Invalidated: atomic.LoadInt64(&c.Invalidated),
+	}
 }
 
 // NewProxy creates a policy proxy node for the given deployment proxy
@@ -220,11 +272,28 @@ func (n *Node) Install(cfg Config) error {
 	} else {
 		n.classifier = tbl
 	}
-	n.flows = flowtable.NewTable(cfg.FlowTTL)
+	fs, ls := cfg.FlowShards, cfg.LabelShards
+	if fs == 0 {
+		fs = n.flowShardPref
+	}
+	if ls == 0 {
+		ls = n.labelShardPref
+	}
+	n.flows = flowtable.NewTableSharded(cfg.FlowTTL, fs)
 	if !n.IsProxy {
-		n.labels = flowtable.NewLabelTable(cfg.LabelTTL)
+		n.labels = flowtable.NewLabelTableSharded(cfg.LabelTTL, ls)
 	}
 	return nil
+}
+
+// SetShardTuning records the node's local table-striping preference. It
+// applies on the next Install (including configs arriving over the
+// management channel, which never carry shard counts) — call it before
+// installing, alongside SetMetrics/SetTracer. Zero keeps single-shard
+// tables. This is a configuration mutator under the Node concurrency
+// contract.
+func (n *Node) SetShardTuning(flowShards, labelShards int) {
+	n.flowShardPref, n.labelShardPref = flowShards, labelShards
 }
 
 // Config returns the installed configuration.
@@ -257,6 +326,8 @@ func (n *Node) LabelTable() *flowtable.LabelTable { return n.labels }
 
 // Measurements returns a copy of the proxy's per-policy traffic counts.
 func (n *Node) Measurements() map[MeasKey]int64 {
+	n.measMu.Lock()
+	defer n.measMu.Unlock()
 	out := make(map[MeasKey]int64, len(n.meas))
 	for k, v := range n.meas {
 		out[k] = v
@@ -267,6 +338,8 @@ func (n *Node) Measurements() map[MeasKey]int64 {
 // ResetMeasurements clears the measurement counters (the controller
 // collects periodically; §III-C).
 func (n *Node) ResetMeasurements() {
+	n.measMu.Lock()
+	defer n.measMu.Unlock()
 	n.meas = make(map[MeasKey]int64)
 }
 
@@ -283,7 +356,7 @@ func (n *Node) ResetMeasurements() {
 func (n *Node) SelectNext(policyID int, e policy.FuncType, flow netaddr.FiveTuple) (topo.NodeID, error) {
 	cands := n.cfg.Candidates[e]
 	if len(cands) == 0 {
-		n.Counters.NoProvider++
+		atomic.AddInt64(&n.Counters.NoProvider, 1)
 		return topo.InvalidNode, &NoLiveCandidateError{Node: n.ID, Func: e}
 	}
 	var pick int
@@ -306,14 +379,14 @@ func (n *Node) SelectNext(policyID int, e policy.FuncType, flow netaddr.FiveTupl
 	for off := 1; off < len(cands); off++ {
 		alt := cands[(pick+off)%len(cands)]
 		if !n.live.down(alt) {
-			n.Counters.Failovers++
+			atomic.AddInt64(&n.Counters.Failovers, 1)
 			if n.nm != nil {
 				n.nm.failovers.Inc()
 			}
 			return alt, nil
 		}
 	}
-	n.Counters.NoProvider++
+	atomic.AddInt64(&n.Counters.NoProvider, 1)
 	return topo.InvalidNode, &NoLiveCandidateError{Node: n.ID, Func: e}
 }
 
@@ -392,7 +465,7 @@ func (n *Node) classify(ft netaddr.FiveTuple, now int64) *flowtable.Entry {
 	if e, ok := n.flows.Lookup(ft, now); ok {
 		return e
 	}
-	n.Counters.Classified++
+	atomic.AddInt64(&n.Counters.Classified, 1)
 	p := n.classifier.Match(ft)
 	if p == nil {
 		return n.flows.InsertNull(ft, now)

@@ -20,6 +20,12 @@ const (
 	MetricFuncDrops  = "sdme_func_drops_total"
 	MetricFuncServes = "sdme_func_serves_total"
 	MetricFailovers  = "sdme_node_failovers_total"
+	// MetricFlowShardEntries / MetricLabelShardEntries are per-shard
+	// occupancy gauges of the lock-striped soft-state tables, refreshed by
+	// SyncShardGauges (the live runtime calls it periodically; it is a
+	// sampled view, not an event stream).
+	MetricFlowShardEntries  = "sdme_flowtable_shard_entries"
+	MetricLabelShardEntries = "sdme_labeltable_shard_entries"
 )
 
 // funcMetrics caches one (node, func) series triple so the hot path
@@ -30,6 +36,8 @@ type funcMetrics struct {
 
 // nodeMetrics is a node's cached view into the registry.
 type nodeMetrics struct {
+	reg       *metrics.Registry
+	nodeLabel string
 	packetsIn *metrics.Counter
 	failovers *metrics.Counter
 	perFunc   map[policy.FuncType]*funcMetrics
@@ -46,6 +54,8 @@ func (n *Node) SetMetrics(reg *metrics.Registry) {
 	}
 	node := strconv.Itoa(int(n.ID))
 	nm := &nodeMetrics{
+		reg:       reg,
+		nodeLabel: node,
 		packetsIn: reg.Counter(MetricPacketsIn, "node", node),
 		failovers: reg.Counter(MetricFailovers, "node", node),
 		perFunc:   make(map[policy.FuncType]*funcMetrics, len(n.Funcs)),
@@ -59,6 +69,28 @@ func (n *Node) SetMetrics(reg *metrics.Registry) {
 		}
 	}
 	n.nm = nm
+}
+
+// SyncShardGauges refreshes the per-shard occupancy gauges of the node's
+// soft-state tables into the attached registry. No-op without metrics.
+// Safe to call from any goroutine (table lengths are read shard-locked).
+func (n *Node) SyncShardGauges() {
+	nm := n.nm
+	if nm == nil {
+		return
+	}
+	if t := n.flows; t != nil {
+		for i := 0; i < t.Shards(); i++ {
+			nm.reg.Gauge(MetricFlowShardEntries, "node", nm.nodeLabel, "shard", strconv.Itoa(i)).
+				Set(float64(t.ShardLen(i)))
+		}
+	}
+	if t := n.labels; t != nil {
+		for i := 0; i < t.Shards(); i++ {
+			nm.reg.Gauge(MetricLabelShardEntries, "node", nm.nodeLabel, "shard", strconv.Itoa(i)).
+				Set(float64(t.ShardLen(i)))
+		}
+	}
 }
 
 // HopEventKind classifies one runtime hop record.

@@ -1,0 +1,448 @@
+package experiments
+
+// Dataplane throughput/latency benchmark: enforcement pps and p50/p99
+// latency across worker counts × shard counts, on both substrates.
+//
+// The simulated substrate drives the REAL proxy hot path (classification,
+// sharded flow table, pooled packets, encapsulation) packet by packet, but
+// takes its clock from a deterministic virtual-time pipeline model instead
+// of the host — the same philosophy as the rest of the simulator, which is
+// what makes the ≥2× 16-vs-1-worker gate reproducible on any machine,
+// including single-core CI runners. The model has three resources per
+// device, mirroring internal/live: a serial dispatcher, W workers with
+// flow-hash affinity, and S shard locks:
+//
+//	dispatcher   150 ns/pkt  (receive, parse, hash, enqueue — serial)
+//	worker       650 ns/pkt  (table lookup / classification, NF bookkeeping)
+//	shard lock   250 ns/pkt  (the shard-locked critical section)
+//	encap         60 ns/pkt  (outer header + marshal to the wire)
+//
+// A packet's completion time is computed event-by-event: it waits for the
+// dispatcher, then its flow's worker, then its entry's shard lock — so
+// adding workers helps until the serial dispatcher (or, with few shards,
+// lock contention) becomes the bottleneck, exactly the regimes the sharded
+// redesign targets. Closed-loop throughput comes from an infinite-backlog
+// pass; latency percentiles come from an open-loop pass at 70% of that
+// capacity.
+//
+// The live substrate runs the real thing — UDP sockets, worker pools, wall
+// clock — and is reported ungated: its numbers describe the machine the
+// suite ran on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdme/internal/enforce"
+	"sdme/internal/live"
+	"sdme/internal/netaddr"
+	"sdme/internal/packet"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// Virtual-time costs of the pipeline model, in nanoseconds per packet.
+const (
+	benchDispatchNS = 150
+	benchWorkerNS   = 650
+	benchShardNS    = 250
+	benchEncapNS    = 60
+)
+
+// benchShardSeed seeds the model's packet→shard hash. It need not equal
+// the flowtable's internal seed: only the distribution of flows over
+// shards matters to contention, not which shard a flow lands on.
+const benchShardSeed = 0x62656e6368 // "bench"
+
+// DataplaneConfig parameterizes RunDataplaneBench. Zero values select the
+// defaults noted on each field.
+type DataplaneConfig struct {
+	Seed        int64
+	Workers     []int // default {1, 4, 16}
+	Shards      []int // default {1, 16, 64}
+	Flows       int   // distinct five-tuples; default 256
+	SimPackets  int   // packets per simulated point; default 200000
+	LivePackets int   // packets per live point; default 4000
+	SkipLive    bool  // model-only run (no sockets)
+}
+
+func (c *DataplaneConfig) defaults() {
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 4, 16}
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 16, 64}
+	}
+	if c.Flows == 0 {
+		c.Flows = 256
+	}
+	if c.SimPackets == 0 {
+		c.SimPackets = 200000
+	}
+	if c.LivePackets == 0 {
+		c.LivePackets = 4000
+	}
+}
+
+// DataplanePoint is one (substrate, workers, shards) measurement.
+type DataplanePoint struct {
+	Substrate string  `json:"substrate"` // "sim" or "live"
+	Workers   int     `json:"workers"`
+	Shards    int     `json:"shards"`
+	Packets   int     `json:"packets"`
+	PPS       float64 `json:"pps"`
+	P50US     float64 `json:"p50_us"`
+	P99US     float64 `json:"p99_us"`
+	// SpeedupVs1W is PPS relative to the same substrate and shard count
+	// at one worker.
+	SpeedupVs1W float64 `json:"speedup_vs_1w"`
+}
+
+// DataplaneGate is the acceptance check embedded in the result: on the
+// simulated substrate, 16 workers must deliver at least MinSpeedup× the
+// single-worker throughput at the highest shard count.
+type DataplaneGate struct {
+	MinSpeedup float64 `json:"min_speedup"`
+	Workers    int     `json:"workers"`
+	Shards     int     `json:"shards"`
+	Measured   float64 `json:"measured_speedup"`
+	Pass       bool    `json:"pass"`
+}
+
+// DataplaneResult is the full suite output, serialized to
+// results/bench_dataplane.json.
+type DataplaneResult struct {
+	Seed      int64            `json:"seed"`
+	Generated string           `json:"generated"`
+	Points    []DataplanePoint `json:"points"`
+	Gate      DataplaneGate    `json:"gate"`
+}
+
+// benchFlows generates the flow population shared by every point, all
+// matching the bench policy (dst port 80).
+func benchFlows(seed int64, n int) []netaddr.FiveTuple {
+	rng := rand.New(rand.NewSource(seed))
+	flows := make([]netaddr.FiveTuple, n)
+	for i := range flows {
+		flows[i] = netaddr.FiveTuple{
+			Src: topo.HostAddr(1, 1+i%200), Dst: topo.HostAddr(1, 201+i%50),
+			SrcPort: uint16(20000 + i), DstPort: 80, Proto: netaddr.ProtoTCP,
+		}
+	}
+	_ = rng // reserved for future payload variation
+	return flows
+}
+
+// benchBed builds the two-node enforcement bed every point uses: one proxy
+// steering port-80 traffic through one IDS middlebox, tables striped over
+// `shards` shards.
+func benchBed(seed int64, shards int) (proxy, mb *enforce.Node, proxyAddr netaddr.Addr, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := topo.Campus(topo.CampusConfig{Gateways: 1, CoreRouters: 2, EdgeRouters: 1, WithProxies: true}, rng)
+	dep, err := enforce.NewDeployment(g)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	core := g.NodesOfKind(topo.KindCoreRouter)[0]
+	dep.AddMiddlebox(core, "ids1", policy.FuncIDS)
+	mbID := dep.MBNodes[0]
+
+	pol := &policy.Policy{ID: 1, Prio: 1, Desc: policy.NewDescriptor(), Actions: policy.ActionList{policy.FuncIDS}}
+	pol.Desc.DstPort = netaddr.SinglePort(80)
+	cfg := enforce.Config{
+		Policies:   []*policy.Policy{pol},
+		Candidates: map[policy.FuncType][]topo.NodeID{policy.FuncIDS: {mbID}},
+		Strategy:   enforce.HotPotato,
+		FlowShards: shards, LabelShards: shards,
+	}
+
+	proxyID, ok := dep.ProxyFor(1)
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("dataplane bench: no proxy for subnet 1")
+	}
+	proxy = enforce.NewProxy(dep, proxyID)
+	if err := proxy.Install(cfg); err != nil {
+		return nil, nil, 0, err
+	}
+	mb, err = enforce.NewMiddlebox(dep, mbID)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := mb.Install(cfg); err != nil {
+		return nil, nil, 0, err
+	}
+	return proxy, mb, dep.AddrOf(proxyID), nil
+}
+
+// dropForwarder sinks transmissions: the sim points measure the proxy hot
+// path, not delivery.
+type dropForwarder struct{}
+
+func (dropForwarder) Send(*enforce.Node, *packet.Packet)                         {}
+func (dropForwarder) SendControl(*enforce.Node, netaddr.Addr, netaddr.FiveTuple) {}
+
+// pipelineModel computes per-packet completion times for the
+// dispatcher→worker→shard pipeline. arrival gives packet i's arrival in
+// virtual ns (the closed-loop pass passes all-zero = infinite backlog);
+// the returned latencies are completion − arrival, and makespan is the
+// last completion.
+func pipelineModel(n int, arrival func(i int) int64, workerOf, shardOf []int, flows int) (lat []int64, makespan int64) {
+	nw, ns := 0, 0
+	for _, w := range workerOf {
+		if w >= nw {
+			nw = w + 1
+		}
+	}
+	for _, s := range shardOf {
+		if s >= ns {
+			ns = s + 1
+		}
+	}
+	dispFree := int64(0)
+	workerFree := make([]int64, nw)
+	shardFree := make([]int64, ns)
+	lat = make([]int64, n)
+	for i := 0; i < n; i++ {
+		f := i % flows
+		at := arrival(i)
+		start := at
+		if dispFree > start {
+			start = dispFree
+		}
+		dispFree = start + benchDispatchNS
+		w, s := workerOf[f], shardOf[f]
+		ws := dispFree
+		if workerFree[w] > ws {
+			ws = workerFree[w]
+		}
+		lock := ws + benchWorkerNS
+		if shardFree[s] > lock {
+			lock = shardFree[s]
+		}
+		shardFree[s] = lock + benchShardNS
+		done := lock + benchShardNS + benchEncapNS
+		workerFree[w] = done
+		lat[i] = done - at
+		if done > makespan {
+			makespan = done
+		}
+	}
+	return lat, makespan
+}
+
+func latQuantileUS(lat []int64, q float64) float64 {
+	sorted := append([]int64(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / 1000.0
+}
+
+// runSimDataplanePoint measures one (workers, shards) cell on the
+// simulated substrate: a functional pass through the real proxy (so the
+// sharded tables and pooled packets do real work at this shard count),
+// then the deterministic timing model for pps and latency.
+func runSimDataplanePoint(cfg DataplaneConfig, flows []netaddr.FiveTuple, workers, shards int) (DataplanePoint, error) {
+	pt := DataplanePoint{Substrate: "sim", Workers: workers, Shards: shards, Packets: cfg.SimPackets}
+
+	proxy, _, _, err := benchBed(cfg.Seed, shards)
+	if err != nil {
+		return pt, err
+	}
+	fwd := dropForwarder{}
+	payload := make([]byte, 64)
+	for i := 0; i < cfg.SimPackets; i++ {
+		ft := flows[i%len(flows)]
+		p := packet.Get()
+		p.Inner = packet.Header{
+			Src: ft.Src, Dst: ft.Dst, SrcPort: ft.SrcPort, DstPort: ft.DstPort,
+			Proto: ft.Proto, TTL: 64,
+		}
+		p.Payload = append(p.Payload[:0], payload...)
+		if err := proxy.HandleOutbound(p, int64(i), fwd); err != nil {
+			packet.Put(p)
+			return pt, fmt.Errorf("sim point w=%d s=%d pkt %d: %w", workers, shards, i, err)
+		}
+		packet.Put(p)
+	}
+	if in := proxy.CountersSnapshot().PacketsIn; in != int64(cfg.SimPackets) {
+		return pt, fmt.Errorf("sim point w=%d s=%d: processed %d of %d", workers, shards, in, cfg.SimPackets)
+	}
+
+	// Timing model: map each flow to its worker (same affinity hash shape
+	// as internal/live: Dst excluded) and to a shard.
+	workerOf := make([]int, len(flows))
+	shardOf := make([]int, len(flows))
+	for i, ft := range flows {
+		noDst := ft
+		noDst.Dst = 0
+		workerOf[i] = int(netaddr.Mix64(noDst.Hash(1)) % uint64(workers))
+		shardOf[i] = int(netaddr.Mix64(ft.Hash(benchShardSeed)) % uint64(shards))
+	}
+	_, makespan := pipelineModel(cfg.SimPackets, func(int) int64 { return 0 }, workerOf, shardOf, len(flows))
+	pt.PPS = float64(cfg.SimPackets) / (float64(makespan) / 1e9)
+
+	// Open-loop latency at 70% of measured capacity.
+	interval := int64(1e9 / (0.7 * pt.PPS))
+	lat, _ := pipelineModel(cfg.SimPackets, func(i int) int64 { return int64(i) * interval }, workerOf, shardOf, len(flows))
+	pt.P50US = latQuantileUS(lat, 0.50)
+	pt.P99US = latQuantileUS(lat, 0.99)
+	return pt, nil
+}
+
+// runLiveDataplanePoint measures one cell on the live-UDP substrate: real
+// sockets, real worker pool, elapsed time from the runtime's monotonic
+// clock. Reported ungated — the numbers describe the host.
+func runLiveDataplanePoint(cfg DataplaneConfig, flows []netaddr.FiveTuple, workers, shards int) (DataplanePoint, error) {
+	pt := DataplanePoint{Substrate: "live", Workers: workers, Shards: shards, Packets: cfg.LivePackets}
+
+	proxy, mb, proxyAddr, err := benchBed(cfg.Seed, shards)
+	if err != nil {
+		return pt, err
+	}
+	rt := live.NewRuntime()
+	defer rt.Close()
+	reg := rt.NewRegistry()
+	rt.AttachMetrics(reg)
+	proxyDev, err := rt.AddDeviceWorkers(proxy, workers)
+	if err != nil {
+		return pt, err
+	}
+	if _, err := rt.AddDeviceWorkers(mb, workers); err != nil {
+		return pt, err
+	}
+
+	payload := make([]byte, 64)
+	startUS := rt.NowUS()
+	for i := 0; i < cfg.LivePackets; i++ {
+		ft := flows[i%len(flows)]
+		p := packet.New(ft, len(payload))
+		p.Payload = append(p.Payload[:0], payload...)
+		if err := rt.Inject(proxyAddr, p); err != nil {
+			return pt, err
+		}
+		// UDP offers no flow control: keep the in-flight window under the
+		// socket buffer so the point measures enforcement, not loss.
+		if (i+1)%256 == 0 {
+			floor := int64(i + 1 - 512)
+			if !live.WaitUntil(10*time.Second, func() bool {
+				return proxyDev.Counters().PacketsIn >= floor
+			}) {
+				return pt, fmt.Errorf("live point w=%d s=%d stalled at %d", workers, shards, i)
+			}
+		}
+	}
+	if !live.WaitUntil(15*time.Second, func() bool {
+		return proxyDev.Counters().PacketsIn >= int64(cfg.LivePackets)
+	}) {
+		return pt, fmt.Errorf("live point w=%d s=%d: proxy saw %d of %d",
+			workers, shards, proxyDev.Counters().PacketsIn, cfg.LivePackets)
+	}
+	elapsedUS := rt.NowUS() - startUS
+	if elapsedUS <= 0 {
+		elapsedUS = 1
+	}
+	pt.PPS = float64(cfg.LivePackets) / (float64(elapsedUS) / 1e6)
+
+	h := reg.Histogram(live.MetricEnforceLatencyUS, nil, "node", strconv.Itoa(int(proxy.ID)))
+	pt.P50US = float64(h.Quantile(0.50))
+	pt.P99US = float64(h.Quantile(0.99))
+	return pt, nil
+}
+
+// RunDataplaneBench runs the full grid on both substrates and evaluates
+// the ≥2× sim scaling gate at (16 workers, max shards) — or at the
+// largest configured worker count if 16 is not in the grid.
+func RunDataplaneBench(cfg DataplaneConfig) (*DataplaneResult, error) {
+	cfg.defaults()
+	flows := benchFlows(cfg.Seed, cfg.Flows)
+	// Generated is stamped by the caller (cmd/sdme-bench): experiment code
+	// stays wall-clock-free so identical configs yield identical results.
+	res := &DataplaneResult{Seed: cfg.Seed}
+
+	for _, shards := range cfg.Shards {
+		for _, workers := range cfg.Workers {
+			pt, err := runSimDataplanePoint(cfg, flows, workers, shards)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	if !cfg.SkipLive {
+		for _, shards := range cfg.Shards {
+			for _, workers := range cfg.Workers {
+				pt, err := runLiveDataplanePoint(cfg, flows, workers, shards)
+				if err != nil {
+					return nil, err
+				}
+				res.Points = append(res.Points, pt)
+			}
+		}
+	}
+
+	// Speedups: each point vs the 1-worker point of its (substrate, shards)
+	// series.
+	base := make(map[string]float64)
+	for _, p := range res.Points {
+		if p.Workers == 1 {
+			base[p.Substrate+"/"+strconv.Itoa(p.Shards)] = p.PPS
+		}
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		if b := base[p.Substrate+"/"+strconv.Itoa(p.Shards)]; b > 0 {
+			p.SpeedupVs1W = p.PPS / b
+		}
+	}
+
+	gateW, gateS := 0, 0
+	for _, w := range cfg.Workers {
+		if w > gateW {
+			gateW = w
+		}
+	}
+	for _, s := range cfg.Shards {
+		if s > gateS {
+			gateS = s
+		}
+	}
+	if gateW > 16 {
+		gateW = 16
+	}
+	res.Gate = DataplaneGate{MinSpeedup: 2.0, Workers: gateW, Shards: gateS}
+	for _, p := range res.Points {
+		if p.Substrate == "sim" && p.Workers == gateW && p.Shards == gateS {
+			res.Gate.Measured = p.SpeedupVs1W
+		}
+	}
+	res.Gate.Pass = res.Gate.Measured >= res.Gate.MinSpeedup
+	return res, nil
+}
+
+// WriteDataplaneJSON serializes the result (indented, trailing newline) —
+// the schema consumed by CI's benchmark-smoke gate.
+func WriteDataplaneJSON(w io.Writer, res *DataplaneResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// DataplaneMarkdown renders the grid for EXPERIMENTS.generated.md.
+func DataplaneMarkdown(res *DataplaneResult) string {
+	var b strings.Builder
+	b.WriteString("| substrate | workers | shards | pps | p50 µs | p99 µs | speedup vs 1w |\n")
+	b.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "| %s | %d | %d | %.0f | %.1f | %.1f | %.2fx |\n",
+			p.Substrate, p.Workers, p.Shards, p.PPS, p.P50US, p.P99US, p.SpeedupVs1W)
+	}
+	fmt.Fprintf(&b, "\nGate: sim %dw/%ds speedup %.2fx (need ≥ %.1fx) — pass=%v\n",
+		res.Gate.Workers, res.Gate.Shards, res.Gate.Measured, res.Gate.MinSpeedup, res.Gate.Pass)
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestDataplaneSimScalesAndIsDeterministic checks the two properties the
+// acceptance gate rests on: 16 workers beat 1 worker by ≥2× on the
+// simulated substrate, and the whole grid is bit-identical across runs.
+func TestDataplaneSimScalesAndIsDeterministic(t *testing.T) {
+	cfg := DataplaneConfig{Seed: 20, SimPackets: 20000, SkipLive: true}
+	r1, err := RunDataplaneBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Gate.Pass {
+		t.Fatalf("gate failed: sim %dw/%ds speedup %.2f < %.1f",
+			r1.Gate.Workers, r1.Gate.Shards, r1.Gate.Measured, r1.Gate.MinSpeedup)
+	}
+	// Shard axis must be visible: at 16 workers, 64 shards must out-run
+	// 1 shard (lock contention is the only difference).
+	var w16s1, w16s64 float64
+	for _, p := range r1.Points {
+		if p.Workers == 16 && p.Shards == 1 {
+			w16s1 = p.PPS
+		}
+		if p.Workers == 16 && p.Shards == 64 {
+			w16s64 = p.PPS
+		}
+	}
+	if w16s64 < 1.5*w16s1 {
+		t.Fatalf("sharding invisible: 16w/64s %.0f pps < 1.5x 16w/1s %.0f pps", w16s64, w16s1)
+	}
+	for _, p := range r1.Points {
+		if p.PPS <= 0 || p.P50US <= 0 || p.P99US < p.P50US {
+			t.Fatalf("implausible point: %+v", p)
+		}
+	}
+
+	r2, err := RunDataplaneBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Generated, r2.Generated = "", ""
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("nondeterministic result:\n%s\nvs\n%s", j1, j2)
+	}
+}
+
+// TestDataplaneLiveSmoke runs one small real-socket point per worker
+// count — enough to prove the live path produces latency percentiles and
+// plausible throughput without tying CI to host performance.
+func TestDataplaneLiveSmoke(t *testing.T) {
+	cfg := DataplaneConfig{
+		Seed: 20, Workers: []int{1, 4}, Shards: []int{16},
+		SimPackets: 2000, LivePackets: 600, Flows: 64,
+	}
+	res, err := RunDataplaneBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for _, p := range res.Points {
+		if p.Substrate != "live" {
+			continue
+		}
+		live++
+		if p.PPS <= 0 {
+			t.Fatalf("live point w=%d: pps %.0f", p.Workers, p.PPS)
+		}
+		if p.P99US <= 0 {
+			t.Fatalf("live point w=%d: no latency observations", p.Workers)
+		}
+	}
+	if live != 2 {
+		t.Fatalf("expected 2 live points, got %d", live)
+	}
+	var md strings.Builder
+	md.WriteString(DataplaneMarkdown(res))
+	if !strings.Contains(md.String(), "| live | 4 | 16 |") {
+		t.Fatal("markdown missing live row")
+	}
+}

@@ -14,15 +14,56 @@
 // Time is an explicit int64 tick supplied by the caller, so the same code
 // runs under the discrete-event simulator's virtual clock and the live
 // runtime's wall clock.
+//
+// Both tables are lock-striped into a power-of-two number of shards keyed
+// by an FNV-1a hash of the FiveTuple / LabelKey, so concurrent dataplane
+// workers contend only when their flows collide on a shard. Every method
+// holds at most one shard lock at a time — including InvalidateIf and
+// Sweep, which visit shards one by one — so a table-wide purge never
+// stalls the whole hot path at once. The single-shard form (NewTable /
+// NewLabelTable) preserves the original single-map behaviour for the
+// discrete-event simulator's single-owner nodes.
 package flowtable
 
 import (
+	"sync"
+
 	"sdme/internal/netaddr"
 	"sdme/internal/policy"
 	"sdme/internal/topo"
 )
 
+// MaxShards bounds the shard count; requests are rounded up to the next
+// power of two and clamped to [1, MaxShards].
+const MaxShards = 256
+
+// shardSeed salts the shard-selection hash so it is independent of the
+// dataplane's selection hashes (which also FNV the tuple).
+const shardSeed = 0x736861726431 // "shard1"
+
+// normShards rounds n up to a power of two in [1, MaxShards].
+func normShards(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // Entry is one flow-table record. Null entries cache "no policy matched".
+//
+// Concurrency: the fields are plain (not atomic) because every mutation
+// after insert happens either under the owning shard's lock (lastHit via
+// Lookup, Label via AllocLabel, LabelSwitched via FlagLabelSwitched,
+// NextHop/Pinned via Table.PinEntry) or from the single goroutine that
+// owns the flow (the live runtime dispatches all packets of a flow to one
+// worker). Direct field writes remain fine for single-owner tables.
 type Entry struct {
 	Flow     netaddr.FiveTuple
 	PolicyID int
@@ -43,7 +84,9 @@ type Entry struct {
 	lastHit int64
 }
 
-// Pin records the provider the flow was steered to.
+// Pin records the provider the flow was steered to. Callers sharing the
+// table across goroutines must use Table.PinEntry instead, which takes
+// the shard lock so InvalidateIf predicates never observe a torn pin.
 func (e *Entry) Pin(mb topo.NodeID) {
 	e.NextHop = mb
 	e.Pinned = true
@@ -58,40 +101,131 @@ type Stats struct {
 	Invalidated int
 }
 
-// Table is the flow hash table. Not safe for concurrent use; each node
-// owns one and drives it from its own event loop.
-type Table struct {
-	ttl       int64
-	entries   map[netaddr.FiveTuple]*Entry
-	nextLabel uint16
-	stats     Stats
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.NullHits += o.NullHits
+	s.Inserted += o.Inserted
+	s.Expired += o.Expired
+	s.Invalidated += o.Invalidated
 }
 
-// NewTable creates a table whose entries expire ttl ticks after their
-// last hit. ttl <= 0 disables expiry.
-func NewTable(ttl int64) *Table {
-	return &Table{ttl: ttl, entries: make(map[netaddr.FiveTuple]*Entry)}
+// labelAlloc hands out the labels a shard owns: the arithmetic
+// progression first, first+stride, … ≤ MaxLabel, plus a free-list of
+// labels returned when their entries were deleted. The free-list replaces
+// the original implementation's per-call scan of every live entry, so
+// allocation is O(1) and — past the free-list's initial growth —
+// allocation-free, and Sweep stays allocation-free while reclaiming
+// labels (the fix for the old Sweep-sized inUse map).
+type labelAlloc struct {
+	next   uint32 // next never-issued label; > MaxLabel when exhausted
+	stride uint32
+	free   []uint16
+}
+
+const maxLabel = 0xffff
+
+func (a *labelAlloc) init(first, stride int) {
+	a.next = uint32(first)
+	a.stride = uint32(stride)
+	a.free = make([]uint16, 0, 16)
+}
+
+func (a *labelAlloc) get() uint16 {
+	if n := len(a.free) - 1; n >= 0 {
+		l := a.free[n]
+		a.free = a.free[:n]
+		return l
+	}
+	if a.next > maxLabel {
+		return 0
+	}
+	l := uint16(a.next)
+	a.next += a.stride
+	return l
+}
+
+func (a *labelAlloc) put(l uint16) {
+	if l != 0 {
+		a.free = append(a.free, l)
+	}
+}
+
+// tableShard is one lock stripe of a Table.
+type tableShard struct {
+	mu      sync.Mutex
+	entries map[netaddr.FiveTuple]*Entry
+	alloc   labelAlloc
+	stats   Stats
+}
+
+// Table is the flow hash table. All methods are safe for concurrent use;
+// entries returned by Lookup/Insert may be mutated only by the flow's
+// owner (see Entry) or through the shard-locked mutators.
+type Table struct {
+	ttl    int64
+	mask   uint64
+	shards []tableShard
+}
+
+// NewTable creates a single-shard table whose entries expire ttl ticks
+// after their last hit. ttl <= 0 disables expiry.
+func NewTable(ttl int64) *Table { return NewTableSharded(ttl, 1) }
+
+// NewTableSharded creates a table striped over the given number of shards
+// (rounded up to a power of two, clamped to [1, MaxShards]; <= 0 means 1).
+// The 16-bit label space is partitioned across shards — shard i allocates
+// labels ≡ i+1 (mod shards) — so allocation never coordinates across
+// shards while labels stay unique table-wide.
+func NewTableSharded(ttl int64, shards int) *Table {
+	n := normShards(shards)
+	t := &Table{ttl: ttl, mask: uint64(n - 1), shards: make([]tableShard, n)}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[netaddr.FiveTuple]*Entry)
+		t.shards[i].alloc.init(i+1, n)
+	}
+	return t
+}
+
+// Shards returns the shard count.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// ShardLen returns the entry count of shard i (occupancy gauges read it).
+func (t *Table) ShardLen(i int) int {
+	s := &t.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+func (t *Table) shardOf(ft netaddr.FiveTuple) *tableShard {
+	// Mix64 spreads structured tuples across the low bits the mask keeps.
+	return &t.shards[netaddr.Mix64(ft.Hash(shardSeed))&t.mask]
 }
 
 // Lookup returns the live entry for ft, refreshing its TTL. Expired
 // entries are removed and reported as misses.
 func (t *Table) Lookup(ft netaddr.FiveTuple, now int64) (*Entry, bool) {
-	e, ok := t.entries[ft]
+	s := t.shardOf(ft)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[ft]
 	if !ok {
-		t.stats.Misses++
+		s.stats.Misses++
 		return nil, false
 	}
 	if t.expired(e, now) {
-		delete(t.entries, ft)
-		t.stats.Expired++
-		t.stats.Misses++
+		delete(s.entries, ft)
+		s.alloc.put(e.Label)
+		s.stats.Expired++
+		s.stats.Misses++
 		return nil, false
 	}
 	e.lastHit = now
 	if e.Null {
-		t.stats.NullHits++
+		s.stats.NullHits++
 	} else {
-		t.stats.Hits++
+		s.stats.Hits++
 	}
 	return e, true
 }
@@ -102,52 +236,61 @@ func (t *Table) expired(e *Entry, now int64) bool {
 
 // Insert records the resolved policy for a flow and returns the entry.
 func (t *Table) Insert(ft netaddr.FiveTuple, policyID int, actions policy.ActionList, now int64) *Entry {
-	e := &Entry{Flow: ft, PolicyID: policyID, Actions: actions, lastHit: now}
-	t.entries[ft] = e
-	t.stats.Inserted++
-	return e
+	return t.insert(&Entry{Flow: ft, PolicyID: policyID, Actions: actions, lastHit: now})
 }
 
 // InsertNull records that no policy matches the flow, so subsequent
 // packets skip classification entirely (§III-D's ⟨f, null⟩ entries).
 func (t *Table) InsertNull(ft netaddr.FiveTuple, now int64) *Entry {
-	e := &Entry{Flow: ft, Null: true, lastHit: now}
-	t.entries[ft] = e
-	t.stats.Inserted++
+	return t.insert(&Entry{Flow: ft, Null: true, lastHit: now})
+}
+
+func (t *Table) insert(e *Entry) *Entry {
+	s := t.shardOf(e.Flow)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[e.Flow]; ok {
+		s.alloc.put(old.Label) // overwritten entry's label is reallocatable
+	}
+	s.entries[e.Flow] = e
+	s.stats.Inserted++
 	return e
 }
 
 // AllocLabel assigns the entry a label that is unique among live entries
 // of this table, per §III-E ("locally unique"). It returns 0 only when
-// all 65535 labels are in use.
+// the entry's shard has exhausted its slice of the 65535-label space —
+// with one shard, exactly when all 65535 labels are in use.
 func (t *Table) AllocLabel(e *Entry) uint16 {
+	s := t.shardOf(e.Flow)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if e.Label != 0 {
 		return e.Label
 	}
-	inUse := make(map[uint16]bool, len(t.entries))
-	for _, other := range t.entries {
-		if other.Label != 0 {
-			inUse[other.Label] = true
-		}
-	}
-	for i := 0; i < 0xffff; i++ {
-		t.nextLabel++
-		if t.nextLabel == 0 {
-			t.nextLabel = 1
-		}
-		if !inUse[t.nextLabel] {
-			e.Label = t.nextLabel
-			return e.Label
-		}
-	}
-	return 0
+	e.Label = s.alloc.get()
+	return e.Label
+}
+
+// PinEntry records the provider the flow was steered to, under the
+// entry's shard lock — the concurrent-safe form of Entry.Pin, so a
+// simultaneous InvalidateIf scan observes either the full pin or none.
+func (t *Table) PinEntry(e *Entry, mb topo.NodeID) {
+	s := t.shardOf(e.Flow)
+	s.mu.Lock()
+	e.NextHop = mb
+	e.Pinned = true
+	s.mu.Unlock()
 }
 
 // FlagLabelSwitched marks the flow's entry for label switching (called
 // when the proxy receives the tail middlebox's control packet). It
 // reports whether the flow was found.
 func (t *Table) FlagLabelSwitched(ft netaddr.FiveTuple, now int64) bool {
-	e, ok := t.entries[ft]
+	s := t.shardOf(ft)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[ft]
 	if !ok || t.expired(e, now) {
 		return false
 	}
@@ -158,45 +301,81 @@ func (t *Table) FlagLabelSwitched(ft netaddr.FiveTuple, now int64) bool {
 
 // InvalidateProvider purges every entry pinned to the given middlebox.
 // Called when a provider is detected dead so its flows re-establish via a
-// backup immediately instead of blackholing until TTL expiry.
+// backup immediately instead of waiting for TTL expiry.
 func (t *Table) InvalidateProvider(mb topo.NodeID) int {
 	return t.InvalidateIf(func(e *Entry) bool { return e.Pinned && e.NextHop == mb })
 }
 
 // InvalidateIf purges every entry matching the predicate and returns the
-// eviction count.
+// eviction count. Shards are visited one at a time — the table is never
+// globally locked — so entries inserted into already-visited shards
+// during the scan may survive; callers needing a fixed point re-run the
+// purge. The predicate runs under a shard lock and must not call back
+// into the table.
 func (t *Table) InvalidateIf(pred func(*Entry) bool) int {
 	n := 0
-	for ft, e := range t.entries {
-		if pred(e) {
-			delete(t.entries, ft)
-			n++
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for ft, e := range s.entries {
+			if pred(e) {
+				delete(s.entries, ft)
+				s.alloc.put(e.Label)
+				n++
+				s.stats.Invalidated++
+			}
 		}
+		s.mu.Unlock()
 	}
-	t.stats.Invalidated += n
 	return n
 }
 
 // Sweep removes all expired entries and returns how many it evicted;
-// nodes run it periodically so idle flows do not accumulate.
+// nodes run it periodically so idle flows do not accumulate. The scan
+// holds one shard lock at a time and performs no allocation (freed labels
+// return to each shard's free-list in place).
 func (t *Table) Sweep(now int64) int {
 	n := 0
-	for ft, e := range t.entries {
-		if t.expired(e, now) {
-			delete(t.entries, ft)
-			n++
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for ft, e := range s.entries {
+			if t.expired(e, now) {
+				delete(s.entries, ft)
+				s.alloc.put(e.Label)
+				n++
+				s.stats.Expired++
+			}
 		}
+		s.mu.Unlock()
 	}
-	t.stats.Expired += n
 	return n
 }
 
 // Len returns the number of stored entries, including expired ones not
 // yet swept.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
 
-// Stats returns a copy of the activity counters.
-func (t *Table) Stats() Stats { return t.stats }
+// Stats returns the activity counters summed over all shards.
+func (t *Table) Stats() Stats {
+	var out Stats
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
 
 // LabelKey identifies a label-table entry: the paper's ⟨src | l⟩
 // concatenation (§III-E). Src is the ORIGINAL flow's source address (kept
@@ -207,7 +386,23 @@ type LabelKey struct {
 	Label uint16
 }
 
-// LabelEntry is one label-table record at a middlebox.
+// hash mixes the key for shard selection (FNV-1a over src then label).
+func (k LabelKey) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) ^ shardSeed
+	h ^= uint64(k.Src)
+	h *= prime64
+	h ^= uint64(k.Label)
+	h *= prime64
+	return h
+}
+
+// LabelEntry is one label-table record at a middlebox. The concurrency
+// rules of Entry apply: post-insert mutation happens under the shard lock
+// (lastHit, PinEntry) or from the flow's owning worker.
 type LabelEntry struct {
 	Key      LabelKey
 	PolicyID int
@@ -231,40 +426,78 @@ type LabelEntry struct {
 	lastHit int64
 }
 
-// Pin records the downstream provider the chain continues at.
+// Pin records the downstream provider the chain continues at. Concurrent
+// tables must use LabelTable.PinEntry.
 func (e *LabelEntry) Pin(mb topo.NodeID) {
 	e.NextHop = mb
 	e.Pinned = true
 }
 
-// LabelTable is the per-middlebox label-switching table.
-type LabelTable struct {
-	ttl     int64
+// labelShard is one lock stripe of a LabelTable.
+type labelShard struct {
+	mu      sync.Mutex
 	entries map[LabelKey]*LabelEntry
 	stats   Stats
 }
 
-// NewLabelTable creates a label table with the given TTL (<= 0 disables
-// expiry).
-func NewLabelTable(ttl int64) *LabelTable {
-	return &LabelTable{ttl: ttl, entries: make(map[LabelKey]*LabelEntry)}
+// LabelTable is the per-middlebox label-switching table, lock-striped
+// like Table (labels here are assigned upstream, so shards carry no
+// allocator).
+type LabelTable struct {
+	ttl    int64
+	mask   uint64
+	shards []labelShard
+}
+
+// NewLabelTable creates a single-shard label table with the given TTL
+// (<= 0 disables expiry).
+func NewLabelTable(ttl int64) *LabelTable { return NewLabelTableSharded(ttl, 1) }
+
+// NewLabelTableSharded creates a label table striped over the given
+// number of shards (rounded up to a power of two, clamped to
+// [1, MaxShards]; <= 0 means 1).
+func NewLabelTableSharded(ttl int64, shards int) *LabelTable {
+	n := normShards(shards)
+	t := &LabelTable{ttl: ttl, mask: uint64(n - 1), shards: make([]labelShard, n)}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[LabelKey]*LabelEntry)
+	}
+	return t
+}
+
+// Shards returns the shard count.
+func (t *LabelTable) Shards() int { return len(t.shards) }
+
+// ShardLen returns the entry count of shard i.
+func (t *LabelTable) ShardLen(i int) int {
+	s := &t.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+func (t *LabelTable) shardOf(k LabelKey) *labelShard {
+	return &t.shards[netaddr.Mix64(k.hash())&t.mask]
 }
 
 // Lookup returns the live entry for the key, refreshing its TTL.
 func (t *LabelTable) Lookup(k LabelKey, now int64) (*LabelEntry, bool) {
-	e, ok := t.entries[k]
+	s := t.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
 	if !ok {
-		t.stats.Misses++
+		s.stats.Misses++
 		return nil, false
 	}
 	if t.ttl > 0 && now-e.lastHit > t.ttl {
-		delete(t.entries, k)
-		t.stats.Expired++
-		t.stats.Misses++
+		delete(s.entries, k)
+		s.stats.Expired++
+		s.stats.Misses++
 		return nil, false
 	}
 	e.lastHit = now
-	t.stats.Hits++
+	s.stats.Hits++
 	return e, true
 }
 
@@ -273,17 +506,35 @@ func (t *LabelTable) Lookup(k LabelKey, now int64) (*LabelEntry, bool) {
 // 5-tuple of the flow (see LabelEntry.Flow).
 func (t *LabelTable) Insert(k LabelKey, policyID int, actions policy.ActionList, flow netaddr.FiveTuple, now int64) *LabelEntry {
 	e := &LabelEntry{Key: k, PolicyID: policyID, Actions: actions, Flow: flow, lastHit: now}
-	t.entries[k] = e
-	t.stats.Inserted++
+	s := t.shardOf(k)
+	s.mu.Lock()
+	s.entries[k] = e
+	s.stats.Inserted++
+	s.mu.Unlock()
 	return e
 }
 
 // InsertTail records ⟨src|l, actions, dst⟩ at the chain's last middlebox.
 func (t *LabelTable) InsertTail(k LabelKey, policyID int, actions policy.ActionList, flow netaddr.FiveTuple, now int64) *LabelEntry {
-	e := t.Insert(k, policyID, actions, flow, now)
+	e := &LabelEntry{Key: k, PolicyID: policyID, Actions: actions, Flow: flow, lastHit: now}
 	e.Dst = flow.Dst
 	e.HasDst = true
+	s := t.shardOf(k)
+	s.mu.Lock()
+	s.entries[k] = e
+	s.stats.Inserted++
+	s.mu.Unlock()
 	return e
+}
+
+// PinEntry records the downstream provider under the entry's shard lock —
+// the concurrent-safe form of LabelEntry.Pin.
+func (t *LabelTable) PinEntry(e *LabelEntry, mb topo.NodeID) {
+	s := t.shardOf(e.Key)
+	s.mu.Lock()
+	e.NextHop = mb
+	e.Pinned = true
+	s.mu.Unlock()
 }
 
 // InvalidateProvider purges every label entry whose chain continues at
@@ -295,34 +546,64 @@ func (t *LabelTable) InvalidateProvider(mb topo.NodeID) int {
 }
 
 // InvalidateIf purges every label entry matching the predicate and
-// returns the eviction count.
+// returns the eviction count. One shard is locked at a time; see
+// Table.InvalidateIf for the visibility contract.
 func (t *LabelTable) InvalidateIf(pred func(*LabelEntry) bool) int {
 	n := 0
-	for k, e := range t.entries {
-		if pred(e) {
-			delete(t.entries, k)
-			n++
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if pred(e) {
+				delete(s.entries, k)
+				n++
+				s.stats.Invalidated++
+			}
 		}
+		s.mu.Unlock()
 	}
-	t.stats.Invalidated += n
 	return n
 }
 
-// Sweep removes expired entries and returns the eviction count.
+// Sweep removes expired entries and returns the eviction count; like
+// Table.Sweep it is allocation-free and locks one shard at a time.
 func (t *LabelTable) Sweep(now int64) int {
 	n := 0
-	for k, e := range t.entries {
-		if t.ttl > 0 && now-e.lastHit > t.ttl {
-			delete(t.entries, k)
-			n++
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if t.ttl > 0 && now-e.lastHit > t.ttl {
+				delete(s.entries, k)
+				n++
+				s.stats.Expired++
+			}
 		}
+		s.mu.Unlock()
 	}
-	t.stats.Expired += n
 	return n
 }
 
 // Len returns the number of stored entries.
-func (t *LabelTable) Len() int { return len(t.entries) }
+func (t *LabelTable) Len() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
 
-// Stats returns a copy of the activity counters.
-func (t *LabelTable) Stats() Stats { return t.stats }
+// Stats returns the activity counters summed over all shards.
+func (t *LabelTable) Stats() Stats {
+	var out Stats
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+package flowtable
+
+// Property test: randomized operation sequences run against the sharded
+// table and an independent single-map reference model must produce
+// identical observable state — return values, lengths, stats — at every
+// step, across shard counts 1, 2 and 64. Labels are compared by presence
+// and table-wide uniqueness, not value: the sharded allocator partitions
+// the label space by stride, so the values legitimately differ from any
+// sequential reference.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdme/internal/netaddr"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// refEntry mirrors Entry's observable fields.
+type refEntry struct {
+	policyID      int
+	actions       policy.ActionList
+	null          bool
+	hasLabel      bool
+	labelSwitched bool
+	nextHop       topo.NodeID
+	pinned        bool
+	lastHit       int64
+}
+
+// refTable is the single-map reference model of Table.
+type refTable struct {
+	ttl     int64
+	entries map[netaddr.FiveTuple]*refEntry
+	stats   Stats
+}
+
+func newRefTable(ttl int64) *refTable {
+	return &refTable{ttl: ttl, entries: make(map[netaddr.FiveTuple]*refEntry)}
+}
+
+func (r *refTable) expired(e *refEntry, now int64) bool {
+	return r.ttl > 0 && now-e.lastHit > r.ttl
+}
+
+func (r *refTable) lookup(ft netaddr.FiveTuple, now int64) (*refEntry, bool) {
+	e, ok := r.entries[ft]
+	if !ok {
+		r.stats.Misses++
+		return nil, false
+	}
+	if r.expired(e, now) {
+		delete(r.entries, ft)
+		e.hasLabel = false
+		r.stats.Expired++
+		r.stats.Misses++
+		return nil, false
+	}
+	e.lastHit = now
+	if e.null {
+		r.stats.NullHits++
+	} else {
+		r.stats.Hits++
+	}
+	return e, true
+}
+
+func (r *refTable) insert(ft netaddr.FiveTuple, policyID int, actions policy.ActionList, null bool, now int64) *refEntry {
+	e := &refEntry{policyID: policyID, actions: actions, null: null, lastHit: now}
+	r.entries[ft] = e
+	r.stats.Inserted++
+	return e
+}
+
+func (r *refTable) allocLabel(e *refEntry) {
+	// The reference never exhausts: sequences are far smaller than any
+	// shard's label slice, so the real table must agree.
+	e.hasLabel = true
+}
+
+func (r *refTable) flagLabelSwitched(ft netaddr.FiveTuple, now int64) bool {
+	e, ok := r.entries[ft]
+	if !ok || r.expired(e, now) {
+		return false
+	}
+	e.labelSwitched = true
+	e.lastHit = now
+	return true
+}
+
+func (r *refTable) invalidateIf(pred func(*refEntry) bool) int {
+	n := 0
+	for ft, e := range r.entries {
+		if pred(e) {
+			delete(r.entries, ft)
+			e.hasLabel = false
+			n++
+			r.stats.Invalidated++
+		}
+	}
+	return n
+}
+
+func (r *refTable) sweep(now int64) int {
+	n := 0
+	for ft, e := range r.entries {
+		if r.expired(e, now) {
+			delete(r.entries, ft)
+			e.hasLabel = false
+			n++
+			r.stats.Expired++
+		}
+	}
+	return n
+}
+
+func propFlow(i int) netaddr.FiveTuple {
+	return netaddr.FiveTuple{
+		Src: netaddr.Addr(0x0a010000 + i), Dst: netaddr.Addr(0x0a020000 + i%7),
+		SrcPort: uint16(10000 + i), DstPort: 80, Proto: netaddr.ProtoTCP,
+	}
+}
+
+func comparePropState(t *testing.T, seed int64, step int, tbl *Table, ref *refTable) {
+	t.Helper()
+	if tbl.Len() != len(ref.entries) {
+		t.Fatalf("seed %d step %d: Len = %d, ref = %d", seed, step, tbl.Len(), len(ref.entries))
+	}
+	if got, want := tbl.Stats(), ref.stats; got != want {
+		t.Fatalf("seed %d step %d: stats = %+v, ref = %+v", seed, step, got, want)
+	}
+}
+
+func TestShardedTableMatchesReferenceModel(t *testing.T) {
+	const (
+		sequences = 1000
+		steps     = 60
+		universe  = 24
+		ttl       = 50
+	)
+	actions := policy.ActionList{policy.FuncFW, policy.FuncIDS}
+	for _, shards := range []int{1, 2, 64} {
+		for seq := 0; seq < sequences; seq++ {
+			seed := int64(shards)*1_000_000 + int64(seq)
+			rng := rand.New(rand.NewSource(seed))
+			tbl := NewTableSharded(ttl, shards)
+			ref := newRefTable(ttl)
+			now := int64(0)
+
+			for step := 0; step < steps; step++ {
+				ft := propFlow(rng.Intn(universe))
+				switch op := rng.Intn(100); {
+				case op < 30: // Lookup
+					e, ok := tbl.Lookup(ft, now)
+					re, rok := ref.lookup(ft, now)
+					if ok != rok {
+						t.Fatalf("seed %d step %d: Lookup found=%v, ref=%v", seed, step, ok, rok)
+					}
+					if ok {
+						if e.PolicyID != re.policyID || e.Null != re.null ||
+							e.LabelSwitched != re.labelSwitched || e.Pinned != re.pinned ||
+							(e.Label != 0) != re.hasLabel {
+							t.Fatalf("seed %d step %d: entry mismatch: %+v vs ref %+v", seed, step, e, re)
+						}
+						if e.Pinned && e.NextHop != re.nextHop {
+							t.Fatalf("seed %d step %d: NextHop %v vs ref %v", seed, step, e.NextHop, re.nextHop)
+						}
+					}
+				case op < 45: // Insert
+					pid := rng.Intn(5)
+					tbl.Insert(ft, pid, actions, now)
+					ref.insert(ft, pid, actions, false, now)
+				case op < 55: // InsertNull
+					tbl.InsertNull(ft, now)
+					ref.insert(ft, 0, nil, true, now)
+				case op < 70: // Lookup-then-AllocLabel (the dataplane's pattern)
+					e, ok := tbl.Lookup(ft, now)
+					re, rok := ref.lookup(ft, now)
+					if ok != rok {
+						t.Fatalf("seed %d step %d: pre-alloc Lookup diverged", seed, step)
+					}
+					if ok {
+						if l := tbl.AllocLabel(e); l == 0 {
+							t.Fatalf("seed %d step %d: AllocLabel exhausted unexpectedly", seed, step)
+						}
+						ref.allocLabel(re)
+					}
+				case op < 78: // FlagLabelSwitched
+					if got, want := tbl.FlagLabelSwitched(ft, now), ref.flagLabelSwitched(ft, now); got != want {
+						t.Fatalf("seed %d step %d: FlagLabelSwitched = %v, ref = %v", seed, step, got, want)
+					}
+				case op < 86: // Lookup-then-Pin
+					e, ok := tbl.Lookup(ft, now)
+					re, rok := ref.lookup(ft, now)
+					if ok != rok {
+						t.Fatalf("seed %d step %d: pre-pin Lookup diverged", seed, step)
+					}
+					if ok {
+						mb := topo.NodeID(rng.Intn(4) + 1)
+						tbl.PinEntry(e, mb)
+						re.nextHop, re.pinned = mb, true
+					}
+				case op < 92: // InvalidateIf (pinned-to-mb, the failover purge)
+					mb := topo.NodeID(rng.Intn(4) + 1)
+					got := tbl.InvalidateIf(func(e *Entry) bool { return e.Pinned && e.NextHop == mb })
+					want := ref.invalidateIf(func(e *refEntry) bool { return e.pinned && e.nextHop == mb })
+					if got != want {
+						t.Fatalf("seed %d step %d: InvalidateIf = %d, ref = %d", seed, step, got, want)
+					}
+				default: // Sweep after a time jump
+					now += int64(rng.Intn(ttl * 2))
+					if got, want := tbl.Sweep(now), ref.sweep(now); got != want {
+						t.Fatalf("seed %d step %d: Sweep = %d, ref = %d", seed, step, got, want)
+					}
+				}
+				now += int64(rng.Intn(5))
+				comparePropState(t, seed, step, tbl, ref)
+			}
+
+			// Final: live labels must be pairwise distinct and agree with
+			// the reference on presence (checked after the step loop so
+			// the verification Lookups don't desynchronize stats).
+			seen := make(map[uint16]netaddr.FiveTuple)
+			for i := 0; i < universe; i++ {
+				ft := propFlow(i)
+				e, ok := tbl.Lookup(ft, now)
+				re, rok := ref.lookup(ft, now)
+				if ok != rok {
+					t.Fatalf("seed %d: final Lookup diverged for %v", seed, ft)
+				}
+				if !ok {
+					continue
+				}
+				if (e.Label != 0) != re.hasLabel {
+					t.Fatalf("seed %d: label presence mismatch for %v", seed, ft)
+				}
+				if e.Label != 0 {
+					if prev, dup := seen[e.Label]; dup {
+						t.Fatalf("seed %d: duplicate label %d on %v and %v", seed, e.Label, prev, ft)
+					}
+					seen[e.Label] = ft
+				}
+			}
+		}
+	}
+}
+
+// refLabelTable is the single-map reference model of LabelTable.
+type refLabelTable struct {
+	ttl     int64
+	entries map[LabelKey]*refLabelEntry
+	stats   Stats
+}
+
+type refLabelEntry struct {
+	policyID int
+	flow     netaddr.FiveTuple
+	dst      netaddr.Addr
+	hasDst   bool
+	nextHop  topo.NodeID
+	pinned   bool
+	lastHit  int64
+}
+
+func newRefLabelTable(ttl int64) *refLabelTable {
+	return &refLabelTable{ttl: ttl, entries: make(map[LabelKey]*refLabelEntry)}
+}
+
+func (r *refLabelTable) lookup(k LabelKey, now int64) (*refLabelEntry, bool) {
+	e, ok := r.entries[k]
+	if !ok {
+		r.stats.Misses++
+		return nil, false
+	}
+	if r.ttl > 0 && now-e.lastHit > r.ttl {
+		delete(r.entries, k)
+		r.stats.Expired++
+		r.stats.Misses++
+		return nil, false
+	}
+	e.lastHit = now
+	r.stats.Hits++
+	return e, true
+}
+
+func (r *refLabelTable) insert(k LabelKey, pid int, flow netaddr.FiveTuple, tail bool, now int64) *refLabelEntry {
+	e := &refLabelEntry{policyID: pid, flow: flow, lastHit: now}
+	if tail {
+		e.dst, e.hasDst = flow.Dst, true
+	}
+	r.entries[k] = e
+	r.stats.Inserted++
+	return e
+}
+
+func (r *refLabelTable) invalidateIf(pred func(*refLabelEntry) bool) int {
+	n := 0
+	for k, e := range r.entries {
+		if pred(e) {
+			delete(r.entries, k)
+			n++
+			r.stats.Invalidated++
+		}
+	}
+	return n
+}
+
+func (r *refLabelTable) sweep(now int64) int {
+	n := 0
+	for k, e := range r.entries {
+		if r.ttl > 0 && now-e.lastHit > r.ttl {
+			delete(r.entries, k)
+			n++
+			r.stats.Expired++
+		}
+	}
+	return n
+}
+
+func TestShardedLabelTableMatchesReferenceModel(t *testing.T) {
+	const (
+		sequences = 1000
+		steps     = 50
+		universe  = 20
+		ttl       = 40
+	)
+	actions := policy.ActionList{policy.FuncIDS, policy.FuncWP}
+	key := func(i int) LabelKey {
+		return LabelKey{Src: netaddr.Addr(0x0a010000 + i%5), Label: uint16(100 + i)}
+	}
+	for _, shards := range []int{1, 2, 64} {
+		for seq := 0; seq < sequences; seq++ {
+			seed := int64(shards)*2_000_000 + int64(seq)
+			rng := rand.New(rand.NewSource(seed))
+			tbl := NewLabelTableSharded(ttl, shards)
+			ref := newRefLabelTable(ttl)
+			now := int64(0)
+
+			for step := 0; step < steps; step++ {
+				i := rng.Intn(universe)
+				k := key(i)
+				flow := propFlow(i)
+				switch op := rng.Intn(100); {
+				case op < 35: // Lookup
+					e, ok := tbl.Lookup(k, now)
+					re, rok := ref.lookup(k, now)
+					if ok != rok {
+						t.Fatalf("seed %d step %d: Lookup found=%v ref=%v", seed, step, ok, rok)
+					}
+					if ok && (e.PolicyID != re.policyID || e.Flow != re.flow ||
+						e.HasDst != re.hasDst || e.Pinned != re.pinned) {
+						t.Fatalf("seed %d step %d: entry mismatch %+v vs %+v", seed, step, e, re)
+					}
+				case op < 55: // Insert (mid-chain)
+					pid := rng.Intn(4)
+					tbl.Insert(k, pid, actions, flow, now)
+					ref.insert(k, pid, flow, false, now)
+				case op < 70: // InsertTail
+					pid := rng.Intn(4)
+					tbl.InsertTail(k, pid, actions, flow, now)
+					ref.insert(k, pid, flow, true, now)
+				case op < 80: // Lookup-then-Pin
+					e, ok := tbl.Lookup(k, now)
+					re, rok := ref.lookup(k, now)
+					if ok != rok {
+						t.Fatalf("seed %d step %d: pre-pin Lookup diverged", seed, step)
+					}
+					if ok {
+						mb := topo.NodeID(rng.Intn(3) + 1)
+						tbl.PinEntry(e, mb)
+						re.nextHop, re.pinned = mb, true
+					}
+				case op < 90: // InvalidateIf
+					mb := topo.NodeID(rng.Intn(3) + 1)
+					got := tbl.InvalidateIf(func(e *LabelEntry) bool { return e.Pinned && e.NextHop == mb })
+					want := ref.invalidateIf(func(e *refLabelEntry) bool { return e.pinned && e.nextHop == mb })
+					if got != want {
+						t.Fatalf("seed %d step %d: InvalidateIf = %d, ref = %d", seed, step, got, want)
+					}
+				default: // Sweep after a time jump
+					now += int64(rng.Intn(ttl * 2))
+					if got, want := tbl.Sweep(now), ref.sweep(now); got != want {
+						t.Fatalf("seed %d step %d: Sweep = %d, ref = %d", seed, step, got, want)
+					}
+				}
+				now += int64(rng.Intn(4))
+				if tbl.Len() != len(ref.entries) {
+					t.Fatalf("seed %d step %d: Len = %d, ref = %d", seed, step, tbl.Len(), len(ref.entries))
+				}
+				if got, want := tbl.Stats(), ref.stats; got != want {
+					t.Fatalf("seed %d step %d: stats = %+v, ref = %+v", seed, step, got, want)
+				}
+			}
+		}
+	}
+}

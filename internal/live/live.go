@@ -15,11 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sdme/internal/enforce"
+	"sdme/internal/metrics"
 	"sdme/internal/netaddr"
 	"sdme/internal/packet"
 )
@@ -73,6 +75,8 @@ type Runtime struct {
 	lossSeq          atomic.Int64
 	// lm is the optional fabric metrics attachment (observe.go).
 	lm atomic.Pointer[liveMetrics]
+	// defaultWorkers sizes new devices' worker pools (0: GOMAXPROCS).
+	defaultWorkers int
 }
 
 // NewRuntime creates an empty runtime.
@@ -81,6 +85,14 @@ func NewRuntime() *Runtime {
 		endpoints: make(map[netaddr.Addr]*net.UDPAddr),
 		start:     time.Now(),
 	}
+}
+
+// SetDefaultWorkers sets the worker-pool size used by subsequent AddDevice
+// calls (0 restores the GOMAXPROCS default). Call before adding devices.
+func (r *Runtime) SetDefaultWorkers(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defaultWorkers = n
 }
 
 // now returns microseconds since runtime start (the dataplane's tick).
@@ -132,7 +144,9 @@ func (r *Runtime) Close() {
 	}
 }
 
-// Device wraps one enforcement node and its socket.
+// Device wraps one enforcement node, its socket and its worker pool: a
+// single-producer receive loop (the dispatcher) parses frames into pooled
+// packets and hands them to per-flow workers (workers.go).
 type Device struct {
 	Node     *enforce.Node
 	rt       *Runtime
@@ -150,16 +164,42 @@ type Device struct {
 	commands chan func()
 	// Errors counts dataplane errors observed by the loop.
 	Errors atomic.Int64
+
+	// workers are the per-flow FIFO queues; closed by the dispatcher on
+	// shutdown, fully drained by the workers before they exit.
+	workers []chan workItem
+	// dispLM / queueDepth are the dispatcher goroutine's cached metric
+	// handles (workers.go); no other goroutine touches them.
+	dispLM     *liveMetrics
+	queueDepth *metrics.Histogram
 }
 
 // AddDevice opens a loopback socket for the node, registers its address
-// and starts its receive loop. Proxies treat arriving data frames as
-// outbound subnet traffic; middleboxes treat them as chain arrivals.
+// and starts its receive loop with the runtime's default worker count.
+// Proxies treat arriving data frames as outbound subnet traffic;
+// middleboxes treat them as chain arrivals.
 func (r *Runtime) AddDevice(n *enforce.Node) (*Device, error) {
+	return r.AddDeviceWorkers(n, 0)
+}
+
+// AddDeviceWorkers is AddDevice with an explicit worker-pool size
+// (0: the runtime default, which itself defaults to GOMAXPROCS).
+func (r *Runtime) AddDeviceWorkers(n *enforce.Node, workers int) (*Device, error) {
+	if workers <= 0 {
+		r.mu.RLock()
+		workers = r.defaultWorkers
+		r.mu.RUnlock()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, fmt.Errorf("live: listen for node %v: %w", n.ID, err)
 	}
+	// Best-effort: a deeper kernel receive queue absorbs bursts while the
+	// dispatcher drains (the OS caps this at rmem_max; errors are fine).
+	_ = conn.SetReadBuffer(4 << 20)
 	d := &Device{
 		Node:     n,
 		rt:       r,
@@ -169,6 +209,7 @@ func (r *Runtime) AddDevice(n *enforce.Node) (*Device, error) {
 		health:   make(chan chan struct{}),
 		commands: make(chan func()),
 	}
+	d.startWorkers(workers)
 	r.register(n.Addr, conn.LocalAddr().(*net.UDPAddr))
 	r.mu.Lock()
 	r.devices = append(r.devices, d)
@@ -178,25 +219,29 @@ func (r *Runtime) AddDevice(n *enforce.Node) (*Device, error) {
 	return d, nil
 }
 
-// Counters returns a consistent snapshot of the node's counters, taken
-// by the device's own goroutine.
+// Workers returns the size of the device's worker pool.
+func (d *Device) Workers() int { return len(d.workers) }
+
+// Counters returns a consistent snapshot of the node's counters: the
+// dispatcher quiesces the worker pool (every already-dispatched frame is
+// fully processed) before reading.
 func (d *Device) Counters() enforce.Counters {
 	resp := make(chan enforce.Counters, 1)
 	select {
 	case d.queries <- resp:
 		return <-resp
 	case <-d.done:
-		// Stop was requested, but the loop may still be finishing its
-		// last frame; wait for it before reading the node directly.
+		// Stop was requested, but the pool may still be draining its
+		// queues; wait for it before reading the node directly.
 		d.wg.Wait()
-		return d.Node.Counters
+		return d.Node.CountersSnapshot()
 	}
 }
 
-// Do runs fn inside the device's loop goroutine and waits for it — the
-// race-free way to reconfigure a live node (the controller's repair and
-// rebalance paths use it). It reports false if the device has stopped,
-// in which case fn did not run.
+// Do runs fn inside the device's dispatcher goroutine, after quiescing
+// the worker pool, and waits for it — the race-free way to reconfigure a
+// live node (the controller's repair and rebalance paths use it). It
+// reports false if the device has stopped, in which case fn did not run.
 func (d *Device) Do(fn func(n *enforce.Node)) bool {
 	done := make(chan struct{})
 	wrapped := func() {
@@ -220,20 +265,32 @@ func (d *Device) stop() {
 	d.wg.Wait()
 }
 
+// loop is the dispatcher: the device's single-producer receive loop. It
+// parses frames into pooled packets, enqueues them on per-flow workers,
+// and services query/health/command channels between reads — quiescing
+// the pool first, so those still observe a consistent node. On exit it
+// closes the worker queues; workers drain them fully before stopping.
 func (d *Device) loop() {
 	defer d.wg.Done()
+	defer func() {
+		for _, ch := range d.workers {
+			close(ch)
+		}
+	}()
 	buf := make([]byte, 64*1024)
 	for {
 		select {
 		case <-d.done:
 			return
 		case resp := <-d.queries:
-			resp <- d.Node.Counters
+			d.quiesce()
+			resp <- d.Node.CountersSnapshot()
 			continue
 		case resp := <-d.health:
 			resp <- struct{}{}
 			continue
 		case fn := <-d.commands:
+			d.quiesce()
 			fn()
 			continue
 		default:
@@ -245,6 +302,7 @@ func (d *Device) loop() {
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
+				d.syncGauges() // idle moment: refresh sampled gauges
 				continue
 			}
 			return // socket closed
@@ -252,43 +310,16 @@ func (d *Device) loop() {
 		if n < 1 {
 			continue
 		}
-		d.handleFrame(buf[:n])
+		d.dispatch(buf[:n])
 	}
 }
 
-func (d *Device) handleFrame(frame []byte) {
-	now := d.rt.now()
-	fwd := &udpForwarder{rt: d.rt}
-	switch frame[0] {
-	case frameData:
-		pkt, err := packet.Unmarshal(frame[1:])
-		if err != nil {
-			d.Errors.Add(1)
-			return
-		}
-		if d.Node.IsProxy {
-			err = d.Node.HandleOutbound(pkt, now, fwd)
-		} else {
-			err = d.Node.HandleArrival(pkt, now, fwd)
-		}
-		if err != nil {
-			d.Errors.Add(1)
-		}
-	case frameControl:
-		flow, err := unmarshalControl(frame[1:])
-		if err != nil {
-			d.Errors.Add(1)
-			return
-		}
-		d.Node.HandleControl(flow, now)
-	default:
-		d.Errors.Add(1)
-	}
-}
-
-// udpForwarder sends dataplane output onto the fabric.
+// udpForwarder sends dataplane output onto the fabric. Workers share the
+// device's own socket (conn) so the hot path never dials; conn may be nil
+// (runtime-level sends), which falls back to an ephemeral socket.
 type udpForwarder struct {
-	rt *Runtime
+	rt   *Runtime
+	conn *net.UDPConn
 }
 
 var _ enforce.Forwarder = (*udpForwarder)(nil)
@@ -300,8 +331,11 @@ func (f *udpForwarder) Send(from *enforce.Node, pkt *packet.Packet) {
 		f.rt.blackhole()
 		return
 	}
-	frame := append([]byte{frameData}, pkt.Marshal()...)
-	f.rt.sendTo(ep, frame)
+	frame := packet.GetBuffer()
+	frame = append(frame, frameData)
+	frame = pkt.AppendMarshal(frame)
+	f.rt.sendVia(f.conn, ep, frame)
+	packet.PutBuffer(frame)
 }
 
 func (f *udpForwarder) SendControl(from *enforce.Node, to netaddr.Addr, flow netaddr.FiveTuple) {
@@ -310,7 +344,7 @@ func (f *udpForwarder) SendControl(from *enforce.Node, to netaddr.Addr, flow net
 		f.rt.blackhole()
 		return
 	}
-	f.rt.sendTo(ep, marshalControl(flow))
+	f.rt.sendVia(f.conn, ep, marshalControl(flow))
 }
 
 // SetLossRate makes the fabric drop approximately num/den of data
@@ -338,7 +372,13 @@ func (r *Runtime) shouldDrop() bool {
 }
 
 // sendTo fires one datagram from an ephemeral socket.
-func (r *Runtime) sendTo(ep *net.UDPAddr, frame []byte) {
+func (r *Runtime) sendTo(ep *net.UDPAddr, frame []byte) { r.sendVia(nil, ep, frame) }
+
+// sendVia transmits one datagram, honoring injected loss. With a non-nil
+// conn it writes through it (a *net.UDPConn is safe for concurrent use,
+// so a device's workers all share the device socket); with nil it dials
+// an ephemeral socket (Inject, sink-less sends).
+func (r *Runtime) sendVia(conn *net.UDPConn, ep *net.UDPAddr, frame []byte) {
 	if r.shouldDrop() {
 		r.Dropped.Add(1)
 		if m := r.lm.Load(); m != nil {
@@ -346,13 +386,18 @@ func (r *Runtime) sendTo(ep *net.UDPAddr, frame []byte) {
 		}
 		return
 	}
-	conn, err := net.DialUDP("udp4", nil, ep)
-	if err != nil {
-		r.blackhole()
-		return
-	}
-	defer conn.Close()
-	if _, err := conn.Write(frame); err != nil {
+	if conn == nil {
+		c, err := net.DialUDP("udp4", nil, ep)
+		if err != nil {
+			r.blackhole()
+			return
+		}
+		defer c.Close()
+		if _, err := c.Write(frame); err != nil {
+			r.blackhole()
+			return
+		}
+	} else if _, err := conn.WriteToUDP(frame, ep); err != nil {
 		r.blackhole()
 		return
 	}

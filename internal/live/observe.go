@@ -11,11 +11,29 @@ const (
 	MetricBlackholed  = "sdme_live_blackholed_total"
 	MetricLossDropped = "sdme_live_loss_dropped_total"
 	MetricSent        = "sdme_live_datagrams_sent_total"
+	// MetricWorkerQueueDepth is a per-node histogram of the dispatch-time
+	// depth of the chosen worker's queue — the live view of hot-path
+	// backpressure.
+	MetricWorkerQueueDepth = "sdme_live_worker_queue_depth"
+	// MetricEnforceLatencyUS is a per-node histogram of receive→handled
+	// latency in microseconds (queue wait plus enforcement).
+	MetricEnforceLatencyUS = "sdme_live_enforce_latency_us"
+	// MetricPoolHits / MetricPoolMisses mirror packet.PoolStats: gauges
+	// (not counters) because the pool counters are process-global and
+	// every device syncs the same cumulative value.
+	MetricPoolHits   = "sdme_live_pool_hits"
+	MetricPoolMisses = "sdme_live_pool_misses"
 )
 
-// liveMetrics caches the runtime's registry handles.
+// QueueDepthBuckets is the bucket layout of MetricWorkerQueueDepth.
+var QueueDepthBuckets = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// liveMetrics caches the runtime's registry handles. reg is retained so
+// devices can mint their per-node worker series lazily.
 type liveMetrics struct {
+	reg                       *metrics.Registry
 	blackholed, dropped, sent *metrics.Counter
+	poolHits, poolMisses      *metrics.Gauge
 }
 
 // NewRegistry creates a registry driven by the runtime's wall clock
@@ -34,9 +52,12 @@ func (r *Runtime) AttachMetrics(reg *metrics.Registry) {
 		return
 	}
 	r.lm.Store(&liveMetrics{
+		reg:        reg,
 		blackholed: reg.Counter(MetricBlackholed),
 		dropped:    reg.Counter(MetricLossDropped),
 		sent:       reg.Counter(MetricSent),
+		poolHits:   reg.Gauge(MetricPoolHits),
+		poolMisses: reg.Gauge(MetricPoolMisses),
 	})
 }
 

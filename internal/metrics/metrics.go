@@ -94,6 +94,39 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the cumulative
+// buckets: it returns the upper bound of the first bucket whose cumulative
+// count reaches q·Count. With no observations it returns 0; observations
+// beyond the last finite bound report that bound (an underestimate, as in
+// any fixed-bucket histogram). Concurrent Observe calls make the estimate
+// approximate, never a panic.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			return h.bounds[i]
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the total of all observations.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 

@@ -256,3 +256,18 @@ func (f FiveTuple) Hash(seed uint64) uint64 {
 	mix(f.Proto)
 	return h
 }
+
+// Mix64 is a finalizing avalanche step (the 64-bit murmur3 finalizer) for
+// reducing a hash to a small modulus. Raw FNV-1a over low-entropy inputs —
+// real tuples differ in a handful of trailing port/address bits — leaves
+// its low bits badly skewed, so anything that buckets flows by `hash %
+// smallN` (worker-pool dispatch, table shard selection) must avalanche
+// first or a fleet of structured flows collapses onto a couple of buckets.
+func Mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

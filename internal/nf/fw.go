@@ -1,6 +1,8 @@
 package nf
 
 import (
+	"sync"
+
 	"sdme/internal/packet"
 	"sdme/internal/policy"
 )
@@ -26,6 +28,10 @@ type FirewallRule struct {
 // default-allow disposition (the enforcement layer already selected the
 // traffic; the firewall's job here is the paper's FW action).
 type Firewall struct {
+	// mu makes Process safe under concurrent dataplane workers (functions
+	// are shared across the flows a middlebox serves, so flow-affinity
+	// dispatch alone does not serialize them).
+	mu        sync.Mutex
 	rules     []FirewallRule
 	processed int64
 	dropped   int64
@@ -39,13 +45,19 @@ func NewFirewall(rules []FirewallRule) *Firewall {
 }
 
 // AddRule appends a rule.
-func (f *Firewall) AddRule(r FirewallRule) { f.rules = append(f.rules, r) }
+func (f *Firewall) AddRule(r FirewallRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+}
 
 // Type implements Function.
 func (f *Firewall) Type() policy.FuncType { return policy.FuncFW }
 
 // Process implements Function: first matching rule decides; default allow.
 func (f *Firewall) Process(pkt *packet.Packet, _ int64) Verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.processed++
 	ft := pkt.FiveTuple()
 	for _, r := range f.rules {
@@ -61,7 +73,15 @@ func (f *Firewall) Process(pkt *packet.Packet, _ int64) Verdict {
 }
 
 // Processed implements Function.
-func (f *Firewall) Processed() int64 { return f.processed }
+func (f *Firewall) Processed() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.processed
+}
 
 // Dropped returns how many packets the firewall denied.
-func (f *Firewall) Dropped() int64 { return f.dropped }
+func (f *Firewall) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}

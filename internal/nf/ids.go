@@ -2,6 +2,7 @@ package nf
 
 import (
 	"bytes"
+	"sync"
 
 	"sdme/internal/netaddr"
 	"sdme/internal/packet"
@@ -41,6 +42,8 @@ const portScanThreshold = 32
 // flag port scans. Being passive, it always passes packets; its output is
 // the alert log.
 type IDS struct {
+	// mu makes Process safe under concurrent dataplane workers.
+	mu         sync.Mutex
 	signatures []Signature
 	processed  int64
 	alerts     []Alert
@@ -69,6 +72,8 @@ func (s *IDS) Type() policy.FuncType { return policy.FuncIDS }
 
 // Process implements Function: scan, record, always pass.
 func (s *IDS) Process(pkt *packet.Packet, now int64) Verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.processed++
 	ft := pkt.FiveTuple()
 
@@ -101,8 +106,15 @@ func (s *IDS) raise(a Alert) {
 }
 
 // Processed implements Function.
-func (s *IDS) Processed() int64 { return s.processed }
+func (s *IDS) Processed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.processed
+}
 
-// Alerts returns the alert log (oldest first). The slice is owned by the
-// IDS; callers must not mutate it.
-func (s *IDS) Alerts() []Alert { return s.alerts }
+// Alerts returns a copy of the alert log (oldest first).
+func (s *IDS) Alerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Alert(nil), s.alerts...)
+}

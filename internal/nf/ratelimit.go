@@ -1,6 +1,8 @@
 package nf
 
 import (
+	"sync"
+
 	"sdme/internal/netaddr"
 	"sdme/internal/packet"
 	"sdme/internal/policy"
@@ -16,6 +18,8 @@ import (
 // identically under the simulator's virtual clock and the live runtime's
 // wall clock.
 type RateLimiter struct {
+	// mu makes Process safe under concurrent dataplane workers.
+	mu       sync.Mutex
 	funcType policy.FuncType
 	// rate is tokens (packets) per second; burst is the bucket depth.
 	rate  float64
@@ -54,6 +58,8 @@ func (r *RateLimiter) Type() policy.FuncType { return r.funcType }
 
 // Process implements Function: token-bucket admission per flow.
 func (r *RateLimiter) Process(pkt *packet.Packet, now int64) Verdict {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.processed++
 	ft := pkt.FiveTuple()
 	b, ok := r.buckets[ft]
@@ -82,10 +88,22 @@ func (r *RateLimiter) Process(pkt *packet.Packet, now int64) Verdict {
 }
 
 // Processed implements Function.
-func (r *RateLimiter) Processed() int64 { return r.processed }
+func (r *RateLimiter) Processed() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.processed
+}
 
 // Dropped returns how many packets the limiter policed away.
-func (r *RateLimiter) Dropped() int64 { return r.dropped }
+func (r *RateLimiter) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
 
 // TrackedFlows returns the number of flows with live buckets.
-func (r *RateLimiter) TrackedFlows() int { return len(r.buckets) }
+func (r *RateLimiter) TrackedFlows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buckets)
+}

@@ -2,6 +2,7 @@ package nf
 
 import (
 	"sort"
+	"sync"
 
 	"sdme/internal/netaddr"
 	"sdme/internal/packet"
@@ -74,6 +75,8 @@ const maxExactFlows = 1 << 16
 // accounting backed by exact counters up to a memory bound and a
 // count-min sketch beyond it.
 type TrafficMeasure struct {
+	// mu makes Process safe under concurrent dataplane workers.
+	mu        sync.Mutex
 	exact     map[netaddr.FiveTuple]*FlowCount
 	sketch    *CountMinSketch
 	processed int64
@@ -96,6 +99,8 @@ func (m *TrafficMeasure) Type() policy.FuncType { return policy.FuncTM }
 
 // Process implements Function: measure and pass.
 func (m *TrafficMeasure) Process(pkt *packet.Packet, _ int64) Verdict {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.processed++
 	ft := pkt.FiveTuple()
 	size := uint64(pkt.Size())
@@ -116,16 +121,24 @@ func (m *TrafficMeasure) Process(pkt *packet.Packet, _ int64) Verdict {
 }
 
 // Processed implements Function.
-func (m *TrafficMeasure) Processed() int64 { return m.processed }
+func (m *TrafficMeasure) Processed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.processed
+}
 
 // Totals returns total packets and bytes seen.
 func (m *TrafficMeasure) Totals() (packets, bytes uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.totalPkts, m.totalByte
 }
 
 // FlowPackets returns the exact packet count for a flow (0 if untracked);
 // EstimatePackets answers from the sketch instead.
 func (m *TrafficMeasure) FlowPackets(ft netaddr.FiveTuple) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if fc, ok := m.exact[ft]; ok {
 		return fc.Packets
 	}
@@ -134,12 +147,16 @@ func (m *TrafficMeasure) FlowPackets(ft netaddr.FiveTuple) uint64 {
 
 // EstimatePackets returns the sketch estimate for a flow.
 func (m *TrafficMeasure) EstimatePackets(ft netaddr.FiveTuple) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.sketch.Estimate(ft)
 }
 
 // TopFlows returns the k heaviest exactly-tracked flows by packets,
 // descending, ties broken by flow identity for determinism.
 func (m *TrafficMeasure) TopFlows(k int) []FlowCount {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]FlowCount, 0, len(m.exact))
 	for _, fc := range m.exact {
 		out = append(out, *fc)

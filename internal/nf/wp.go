@@ -2,6 +2,7 @@ package nf
 
 import (
 	"container/list"
+	"sync"
 
 	"sdme/internal/netaddr"
 	"sdme/internal/packet"
@@ -28,6 +29,8 @@ type objectKey struct {
 // and terminates the chain. Misses insert the object and pass the packet
 // onward to the real server.
 type WebProxy struct {
+	// mu makes Process safe under concurrent dataplane workers.
+	mu        sync.Mutex
 	capacity  int
 	lru       *list.List // front = most recent; values are objectKey
 	index     map[objectKey]*list.Element
@@ -78,6 +81,8 @@ func keyOf(pkt *packet.Packet) objectKey {
 // Process implements Function: cache hit serves locally, miss caches and
 // passes.
 func (w *WebProxy) Process(pkt *packet.Packet, _ int64) Verdict {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.processed++
 	k := keyOf(pkt)
 	if el, ok := w.index[k]; ok {
@@ -96,13 +101,29 @@ func (w *WebProxy) Process(pkt *packet.Packet, _ int64) Verdict {
 }
 
 // Processed implements Function.
-func (w *WebProxy) Processed() int64 { return w.processed }
+func (w *WebProxy) Processed() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.processed
+}
 
 // Hits returns the cache hit count.
-func (w *WebProxy) Hits() int64 { return w.hits }
+func (w *WebProxy) Hits() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.hits
+}
 
 // Misses returns the cache miss count.
-func (w *WebProxy) Misses() int64 { return w.misses }
+func (w *WebProxy) Misses() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.misses
+}
 
 // CacheLen returns the number of cached objects.
-func (w *WebProxy) CacheLen() int { return w.lru.Len() }
+func (w *WebProxy) CacheLen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lru.Len()
+}

@@ -108,6 +108,12 @@ type Packet struct {
 	// reassembly tests); when non-nil its length must equal PayloadLen.
 	PayloadLen int
 	Payload    []byte
+	// outerBuf is the inline backing store for Outer: Encapsulate and
+	// UnmarshalInto point Outer at it instead of heap-allocating a Header
+	// per tunnel hop, which keeps the steady-state dataplane path
+	// allocation-free. Because Outer may alias this field, Packet must not
+	// be copied by value — use Clone.
+	outerBuf Header
 }
 
 // New builds an unencapsulated packet for a flow with the given payload
@@ -158,15 +164,15 @@ func (p *Packet) FiveTuple() netaddr.FiveTuple { return p.Inner.FiveTuple() }
 
 // Clone deep-copies the packet.
 func (p *Packet) Clone() *Packet {
-	out := *p
+	out := &Packet{Inner: p.Inner, PayloadLen: p.PayloadLen}
 	if p.Outer != nil {
-		oh := *p.Outer
-		out.Outer = &oh
+		out.outerBuf = *p.Outer
+		out.Outer = &out.outerBuf
 	}
 	if p.Payload != nil {
 		out.Payload = append([]byte(nil), p.Payload...)
 	}
-	return &out
+	return out
 }
 
 // ErrAlreadyEncapsulated is returned when tunneling an already tunneled
@@ -184,7 +190,8 @@ func (p *Packet) Encapsulate(src, dst netaddr.Addr) error {
 	if p.Outer != nil {
 		return ErrAlreadyEncapsulated
 	}
-	p.Outer = &Header{Src: src, Dst: dst, Proto: ProtoIPIP, TTL: DefaultTTL}
+	p.outerBuf = Header{Src: src, Dst: dst, Proto: ProtoIPIP, TTL: DefaultTTL}
+	p.Outer = &p.outerBuf
 	return nil
 }
 
@@ -385,13 +392,29 @@ func unmarshalHeader(b []byte) Header {
 	}
 }
 
-// Marshal serializes the packet for the live runtime.
-func (p *Packet) Marshal() []byte {
+// WireSize returns the marshaled length in bytes.
+func (p *Packet) WireSize() int {
 	n := 1 + HeaderLen + 4 + len(p.Payload)
 	if p.Outer != nil {
 		n += HeaderLen
 	}
-	out := make([]byte, n)
+	return n
+}
+
+// AppendMarshal appends the wire encoding to dst and returns the extended
+// slice. The hot path hands it a pooled buffer so steady-state sends
+// allocate nothing; Marshal wraps it for callers that want a fresh slice.
+func (p *Packet) AppendMarshal(dst []byte) []byte {
+	start := len(dst)
+	n := p.WireSize()
+	if cap(dst)-start < n {
+		grown := make([]byte, start, start+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := dst[start : start+n]
+	dst = dst[:start+n]
+	out[0] = 0
 	off := 1
 	if p.Outer != nil {
 		out[0] |= wireFlagOuter
@@ -403,23 +426,29 @@ func (p *Packet) Marshal() []byte {
 	binary.BigEndian.PutUint32(out[off:], uint32(len(p.Payload)))
 	off += 4
 	copy(out[off:], p.Payload)
-	return out
+	return dst
 }
 
-// Unmarshal parses a wire packet. PayloadLen is set to the carried
-// payload's length.
-func Unmarshal(b []byte) (*Packet, error) {
+// Marshal serializes the packet for the live runtime.
+func (p *Packet) Marshal() []byte {
+	return p.AppendMarshal(make([]byte, 0, p.WireSize()))
+}
+
+// UnmarshalInto parses a wire packet into p, reusing p's payload capacity
+// — the allocation-free counterpart of Unmarshal for pooled packets. On
+// error p is left reset.
+func UnmarshalInto(p *Packet, b []byte) error {
+	p.Reset()
 	if len(b) < 1+HeaderLen+4 {
-		return nil, fmt.Errorf("packet: wire too short (%d bytes)", len(b))
+		return fmt.Errorf("packet: wire too short (%d bytes)", len(b))
 	}
-	p := &Packet{}
 	off := 1
 	if b[0]&wireFlagOuter != 0 {
 		if len(b) < 1+2*HeaderLen+4 {
-			return nil, fmt.Errorf("packet: wire too short for outer header (%d bytes)", len(b))
+			return fmt.Errorf("packet: wire too short for outer header (%d bytes)", len(b))
 		}
-		h := unmarshalHeader(b[off:])
-		p.Outer = &h
+		p.outerBuf = unmarshalHeader(b[off:])
+		p.Outer = &p.outerBuf
 		off += HeaderLen
 	}
 	p.Inner = unmarshalHeader(b[off:])
@@ -427,11 +456,31 @@ func Unmarshal(b []byte) (*Packet, error) {
 	plen := int(binary.BigEndian.Uint32(b[off:]))
 	off += 4
 	if len(b)-off < plen {
-		return nil, fmt.Errorf("packet: wire payload truncated: want %d, have %d", plen, len(b)-off)
+		p.Reset()
+		return fmt.Errorf("packet: wire payload truncated: want %d, have %d", plen, len(b)-off)
 	}
-	p.Payload = append([]byte(nil), b[off:off+plen]...)
+	p.Payload = append(p.Payload[:0], b[off:off+plen]...)
 	p.PayloadLen = plen
+	return nil
+}
+
+// Unmarshal parses a wire packet. PayloadLen is set to the carried
+// payload's length.
+func Unmarshal(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := UnmarshalInto(p, b); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// Reset clears the packet for reuse, retaining payload capacity.
+func (p *Packet) Reset() {
+	payload := p.Payload
+	if payload != nil {
+		payload = payload[:0]
+	}
+	*p = Packet{Payload: payload}
 }
 
 // String renders a compact description for logs.
