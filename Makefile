@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build test race vet fmt verify-examples chaos fuzz cover check \
-	bench bench-smoke race-stress
+	bench bench-smoke bench-churn bench-churn-smoke race-stress
 
 all: build
 
@@ -65,6 +65,7 @@ fuzz:
 	$(GO) test ./internal/packet/ -run '^FuzzFragmentReassemble$$' -fuzz '^FuzzFragmentReassemble$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mgmt/ -run '^FuzzWire$$' -fuzz '^FuzzWire$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/mgmt/ -run '^FuzzConfigDTO$$' -fuzz '^FuzzConfigDTO$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/mgmt/ -run '^FuzzConfigDelta$$' -fuzz '^FuzzConfigDelta$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/controller/ -run '^FuzzJournalStream$$' -fuzz '^FuzzJournalStream$$' -fuzztime $(FUZZTIME)
 
 # Coverage profile across all packages, with the per-function summary's
@@ -90,6 +91,16 @@ bench:
 
 bench-smoke:
 	$(GO) run ./cmd/sdme-bench -suite dataplane -smoke -out results
+
+# Incremental-pipeline churn grid (full vs delta rollout across churn
+# rates) → results/bench_churn.json. Exits nonzero if the incremental
+# rollout costs more than half the full-rollout bytes at the lowest rate
+# (pushed bytes are encoded envelope sizes, deterministic per seed).
+bench-churn:
+	$(GO) run ./cmd/sdme-bench -suite churn -out results
+
+bench-churn-smoke:
+	$(GO) run ./cmd/sdme-bench -suite churn -smoke -out results
 
 # Concurrency stress under the race detector: 8 writer goroutines + a
 # sweeper on the sharded tables (duplicate tunnel-ID and resurrection

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sdme-bench [-suite paper|dataplane] [-out results] [-seed 20] [-quick] [-smoke]
+//	sdme-bench [-suite paper|dataplane|churn] [-out results] [-seed 20] [-quick] [-smoke]
 //
 // -quick runs a reduced traffic sweep (useful for smoke checks); the
 // default regenerates the full 1M–10M packet series of Figures 4 and 5.
@@ -14,6 +14,13 @@
 // results/bench_dataplane.json; it exits nonzero if the simulated
 // substrate fails the ≥2× 16-vs-1-worker scaling gate. -smoke shrinks it
 // for CI.
+//
+// -suite churn replays randomized policy/node/demand churn through the
+// full-rebuild and incremental compilation pipelines and writes
+// results/bench_churn.json (recompute latency, pushed bytes full vs
+// delta per churn rate); it exits nonzero if the incremental rollout
+// fails the ≤0.5× byte gate at the lowest rate. -smoke shrinks it for
+// CI.
 package main
 
 import (
@@ -38,8 +45,8 @@ func run() error {
 	seed := flag.Int64("seed", 20, "seed for topology, placement and workload")
 	quick := flag.Bool("quick", false, "reduced sweep for smoke checks")
 	multiseed := flag.Int("multiseed", 0, "additionally average the campus point over N seeds")
-	suite := flag.String("suite", "paper", "benchmark suite: paper (figures/tables) or dataplane (worker/shard scaling)")
-	smoke := flag.Bool("smoke", false, "dataplane suite only: reduced packet counts for CI")
+	suite := flag.String("suite", "paper", "benchmark suite: paper (figures/tables), dataplane (worker/shard scaling) or churn (incremental pipeline)")
+	smoke := flag.Bool("smoke", false, "dataplane/churn suites only: reduced sizes for CI")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -48,9 +55,11 @@ func run() error {
 	switch *suite {
 	case "dataplane":
 		return runDataplaneSuite(*out, *seed, *smoke)
+	case "churn":
+		return runChurnSuite(*out, *seed, *smoke)
 	case "paper":
 	default:
-		return fmt.Errorf("unknown suite %q (want paper or dataplane)", *suite)
+		return fmt.Errorf("unknown suite %q (want paper, dataplane or churn)", *suite)
 	}
 	traffic := []int(nil) // default: paper's 1M..10M
 	tablePoint := 10000000
@@ -302,6 +311,44 @@ func runDataplaneSuite(out string, seed int64, smoke bool) error {
 	if !res.Gate.Pass {
 		return fmt.Errorf("scaling gate failed: sim %dw/%ds speedup %.2fx < %.1fx",
 			res.Gate.Workers, res.Gate.Shards, res.Gate.Measured, res.Gate.MinSpeedup)
+	}
+	return nil
+}
+
+// runChurnSuite runs the full-vs-incremental churn grid and enforces
+// the pushed-bytes gate at the lowest churn rate.
+func runChurnSuite(out string, seed int64, smoke bool) error {
+	cfg := experiments.ChurnConfig{Seed: seed}
+	if smoke {
+		cfg.Steps = 12
+		cfg.Rates = []int{1, 4}
+		cfg.PoliciesPerClass = 3
+		cfg.DemandTarget = 4000
+	}
+	start := time.Now()
+	res, err := experiments.RunChurnBench(cfg)
+	if err != nil {
+		return err
+	}
+	res.Generated = time.Now().UTC().Format(time.RFC3339)
+	path := filepath.Join(out, "bench_churn.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteChurnJSON(f, res); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	fmt.Print(experiments.ChurnMarkdown(res))
+	fmt.Printf("churn: %d points -> %s (%v)\n",
+		len(res.Points), path, time.Since(start).Round(time.Millisecond))
+	if !res.Gate.Pass {
+		return fmt.Errorf("churn byte gate failed: rate-%d incremental/full ratio %.3f > %.2f",
+			res.Gate.Rate, res.Gate.Measured, res.Gate.MaxRatio)
 	}
 	return nil
 }

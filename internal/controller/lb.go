@@ -29,19 +29,10 @@ type LBSolution struct {
 	// Vars / Constraints / Iterations describe the solved program; the
 	// Eq. (1) vs Eq. (2) ablation reports these.
 	Vars, Constraints, Iterations int
-}
-
-// chainInstance is one unit of LP construction: a policy chain with
-// per-source demand. Eq. (2) uses one instance per policy (all sources
-// merged into one conservation system); Eq. (1) uses one instance per
-// (source, destination, policy) triple.
-type chainInstance struct {
-	pol *policy.Policy
-	// srcVols maps source proxy node -> measured packets.
-	srcVols map[topo.NodeID]int64
-	// srcSubnet/dstSubnet tag the produced weight keys; zero for the
-	// aggregated formulation.
-	srcSubnet, dstSubnet int
+	// InstanceLoads attributes the expected load to the chain instance
+	// producing it, so the incremental pipeline can carry unaffected
+	// instances into later scoped solves as constant base loads.
+	InstanceLoads map[InstanceKey]map[topo.NodeID]float64
 }
 
 // SolveLB solves the aggregated formulation (Eq. 2 of the paper) over
@@ -50,35 +41,9 @@ type chainInstance struct {
 // variables, and per-destination last-hop variables are merged into one
 // virtual sink per policy.
 func (c *Controller) SolveLB(meas Measurements) (*LBSolution, error) {
-	byID := c.policyIndex()
-	perPolicy := make(map[int]*chainInstance)
-	for k, v := range meas {
-		p, ok := byID[k.PolicyID]
-		if !ok {
-			return nil, fmt.Errorf("controller: measurement for unknown policy %d", k.PolicyID)
-		}
-		if p.Actions.IsPermit() {
-			continue
-		}
-		inst := perPolicy[k.PolicyID]
-		if inst == nil {
-			inst = &chainInstance{pol: p, srcVols: make(map[topo.NodeID]int64)}
-			perPolicy[k.PolicyID] = inst
-		}
-		proxyID, ok := c.dep.ProxyFor(k.SrcSubnet)
-		if !ok {
-			return nil, fmt.Errorf("controller: measurement from unknown subnet %d", k.SrcSubnet)
-		}
-		inst.srcVols[proxyID] += v
-	}
-	ids := make([]int, 0, len(perPolicy))
-	for id := range perPolicy {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	insts := make([]*chainInstance, len(ids))
-	for i, id := range ids {
-		insts[i] = perPolicy[id]
+	insts, err := c.chainInstances(meas, false)
+	if err != nil {
+		return nil, err
 	}
 	return c.solveChainLP(insts)
 }
@@ -88,40 +53,9 @@ func (c *Controller) SolveLB(meas Measurements) (*LBSolution, error) {
 // triple. Variable count grows with |R|^2·|P|, so this is intended for
 // small topologies and for cross-checking Eq. (2).
 func (c *Controller) SolveLBFine(meas Measurements) (*LBSolution, error) {
-	byID := c.policyIndex()
-	keys := make([]enforce.MeasKey, 0, len(meas))
-	for k := range meas {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.PolicyID != b.PolicyID {
-			return a.PolicyID < b.PolicyID
-		}
-		if a.SrcSubnet != b.SrcSubnet {
-			return a.SrcSubnet < b.SrcSubnet
-		}
-		return a.DstSubnet < b.DstSubnet
-	})
-	var insts []*chainInstance
-	for _, k := range keys {
-		p, ok := byID[k.PolicyID]
-		if !ok {
-			return nil, fmt.Errorf("controller: measurement for unknown policy %d", k.PolicyID)
-		}
-		if p.Actions.IsPermit() {
-			continue
-		}
-		proxyID, ok := c.dep.ProxyFor(k.SrcSubnet)
-		if !ok {
-			return nil, fmt.Errorf("controller: measurement from unknown subnet %d", k.SrcSubnet)
-		}
-		insts = append(insts, &chainInstance{
-			pol:       p,
-			srcVols:   map[topo.NodeID]int64{proxyID: meas[k]},
-			srcSubnet: k.SrcSubnet,
-			dstSubnet: k.DstSubnet,
-		})
+	insts, err := c.chainInstances(meas, true)
+	if err != nil {
+		return nil, err
 	}
 	return c.solveChainLP(insts)
 }
@@ -154,18 +88,41 @@ type wRef struct {
 // park some middleboxes at zero load while only the bottleneck type is
 // actually constrained; phase two removes both artifacts (cf. the tight
 // per-type spreads of the paper's Table III).
-func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
+func (c *Controller) solveChainLP(insts []*ChainInstance) (*LBSolution, error) {
+	startUS := c.solveStart()
+	sol, err := c.solveChainLPWith(insts, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.verifyPlan(sol.Weights); err != nil {
+		return nil, err
+	}
+	// Write-ahead: journal the plan before the caller can push it.
+	if err := c.journalWeights(sol); err != nil {
+		return nil, err
+	}
+	c.observeSolve(sol, startUS)
+	return sol, nil
+}
+
+// solveChainLPWith is the bare two-phase solve, without verification,
+// journaling or metrics — the incremental pipeline calls it for scoped
+// re-solves and performs those steps itself on the merged plan. base, when
+// non-nil, carries constant per-middlebox load offsets: the expected loads
+// of carried-forward instances that are NOT re-entering the LP. Their
+// traffic still consumes capacity, so every capacity and spread constraint
+// is shifted by the offsets, and reported loads include them.
+func (c *Controller) solveChainLPWith(insts []*ChainInstance, base map[topo.NodeID]float64) (*LBSolution, error) {
 	if c.candidates == nil {
 		c.computeAssignments()
 	}
-	startUS := c.solveStart()
-	sol, err := c.buildAndSolve(insts, c.opts.CapLambda, nil)
+	sol, err := c.buildAndSolve(insts, c.opts.CapLambda, nil, base)
 	if err != nil {
 		return nil, err
 	}
 	if sol == nil && c.opts.CapLambda {
 		// Infeasible under λ <= 1: overloaded network. Resolve uncapped.
-		sol, err = c.buildAndSolve(insts, false, nil)
+		sol, err = c.buildAndSolve(insts, false, nil, base)
 		if err != nil {
 			return nil, err
 		}
@@ -179,19 +136,11 @@ func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
 	// Phase two: spread. Failure here is tolerable (numerical edge);
 	// keep the phase-one solution in that case.
 	lambdaStar := sol.Lambda
-	if spread, err := c.buildAndSolve(insts, false, &lambdaStar); err == nil && spread != nil {
+	if spread, err := c.buildAndSolve(insts, false, &lambdaStar, base); err == nil && spread != nil {
 		spread.Lambda = lambdaStar
 		spread.Capped = sol.Capped
 		sol = spread
 	}
-	if err := c.verifyPlan(sol.Weights); err != nil {
-		return nil, err
-	}
-	// Write-ahead: journal the plan before the caller can push it.
-	if err := c.journalWeights(sol); err != nil {
-		return nil, err
-	}
-	c.observeSolve(sol, startUS)
 	return sol, nil
 }
 
@@ -200,8 +149,9 @@ func (c *Controller) solveChainLP(insts []*chainInstance) (*LBSolution, error) {
 // When maxMinAt is non-nil the program is the phase-two spread problem:
 // every middlebox load is capped at λ*·C(x), and per function type f the
 // objective minimizes its maximum load factor λ_f and maximizes its
-// minimum load factor μ_f.
-func (c *Controller) buildAndSolve(insts []*chainInstance, capLambda bool, maxMinAt *float64) (*LBSolution, error) {
+// minimum load factor μ_f. base shifts every load expression by constant
+// carried-forward loads (see solveChainLPWith).
+func (c *Controller) buildAndSolve(insts []*ChainInstance, capLambda bool, maxMinAt *float64, base map[topo.NodeID]float64) (*LBSolution, error) {
 	prob := lp.NewProblem()
 	lam := prob.AddVar("lambda")
 	lamF := make(map[policy.FuncType]int)
@@ -221,36 +171,49 @@ func (c *Controller) buildAndSolve(insts []*chainInstance, capLambda bool, maxMi
 	}
 
 	loadTerms := make(map[topo.NodeID][]lp.Term)
+	instTerms := make(map[InstanceKey]map[topo.NodeID][]lp.Term, len(insts))
 	var refs []wRef
 
 	for _, inst := range insts {
-		if err := c.buildChain(prob, inst, loadTerms, &refs); err != nil {
+		if err := c.buildChain(prob, inst, loadTerms, instTerms, &refs); err != nil {
 			return nil, err
 		}
 	}
 
-	// Capacity constraints: Σ load(x) - λ·C(x) <= 0 for every middlebox
-	// that can receive traffic (the paper's fifth/sixth constraint). In
-	// phase two the global cap is the fixed λ* and per-type bounds
-	// μ_f·C(x) <= load(x) <= λ_f·C(x) are added.
-	mbs := make([]topo.NodeID, 0, len(loadTerms))
+	// Capacity constraints: Σ load(x) + base(x) - λ·C(x) <= 0 for every
+	// middlebox that can receive traffic (the paper's fifth/sixth
+	// constraint; base(x) is zero outside scoped re-solves). In phase two
+	// the global cap is the fixed λ* and per-type bounds
+	// μ_f·C(x) <= load(x) <= λ_f·C(x) are added. Middleboxes carrying only
+	// base load still constrain λ and the per-type bounds, so a scoped
+	// solve can never under-report the network-wide load factor.
+	seen := make(map[topo.NodeID]bool, len(loadTerms)+len(base))
+	mbs := make([]topo.NodeID, 0, len(loadTerms)+len(base))
 	for x := range loadTerms {
+		seen[x] = true
 		mbs = append(mbs, x)
+	}
+	for x := range base {
+		if !seen[x] {
+			mbs = append(mbs, x)
+		}
 	}
 	sort.Slice(mbs, func(i, j int) bool { return mbs[i] < mbs[j] })
 	for _, x := range mbs {
 		if maxMinAt == nil {
 			terms := append([]lp.Term{{Var: lam, Coef: -c.capacityOf(x)}}, loadTerms[x]...)
-			prob.AddConstraint(lp.Le, 0, terms...)
+			prob.AddConstraint(lp.Le, -base[x], terms...)
 			continue
 		}
 		hardCap := (*maxMinAt + 1e-7**maxMinAt + 1e-9) * c.capacityOf(x)
-		prob.AddConstraint(lp.Le, hardCap, loadTerms[x]...)
+		if len(loadTerms[x]) > 0 {
+			prob.AddConstraint(lp.Le, hardCap-base[x], loadTerms[x]...)
+		}
 		for _, f := range c.dep.FuncsOf(x) {
 			ceil := append([]lp.Term{{Var: lamF[f], Coef: -c.capacityOf(x)}}, loadTerms[x]...)
-			prob.AddConstraint(lp.Le, 0, ceil...)
+			prob.AddConstraint(lp.Le, -base[x], ceil...)
 			floor := append([]lp.Term{{Var: muF[f], Coef: -c.capacityOf(x)}}, loadTerms[x]...)
-			prob.AddConstraint(lp.Ge, 0, floor...)
+			prob.AddConstraint(lp.Ge, -base[x], floor...)
 		}
 	}
 	if capLambda && maxMinAt == nil {
@@ -276,6 +239,7 @@ func (c *Controller) buildAndSolve(insts []*chainInstance, capLambda bool, maxMi
 		Vars:          prob.NumVars(),
 		Constraints:   prob.NumConstraints(),
 		Iterations:    solved.Iterations,
+		InstanceLoads: make(map[InstanceKey]map[topo.NodeID]float64, len(insts)),
 	}
 	for _, r := range refs {
 		w := make([]float64, len(r.vars))
@@ -302,19 +266,46 @@ func (c *Controller) buildAndSolve(insts []*chainInstance, capLambda bool, maxMi
 		for _, t := range terms {
 			total += t.Coef * solved.Value(t.Var)
 		}
-		out.ExpectedLoads[x] = total
+		out.ExpectedLoads[x] = total + base[x]
+	}
+	for x, b := range base {
+		if _, ok := loadTerms[x]; !ok {
+			out.ExpectedLoads[x] = b
+		}
+	}
+	for key, perMB := range instTerms {
+		loads := make(map[topo.NodeID]float64, len(perMB))
+		for x, terms := range perMB {
+			var total float64
+			for _, t := range terms {
+				total += t.Coef * solved.Value(t.Var)
+			}
+			loads[x] = total
+		}
+		out.InstanceLoads[key] = loads
 	}
 	return out, nil
 }
 
 // buildChain adds one chain instance's variables and conservation
-// constraints to the program, extending loadTerms and refs.
-func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms map[topo.NodeID][]lp.Term, refs *[]wRef) error {
-	chain := inst.pol.Actions
+// constraints to the program, extending loadTerms and refs. Each load
+// term is also attributed to the instance in instTerms, which is how
+// InstanceLoads (and with it, carried-forward base loads) are computed.
+func (c *Controller) buildChain(prob *lp.Problem, inst *ChainInstance, loadTerms map[topo.NodeID][]lp.Term, instTerms map[InstanceKey]map[topo.NodeID][]lp.Term, refs *[]wRef) error {
+	chain := inst.Pol.Actions
 	if len(chain) == 0 {
 		return nil
 	}
 	e1 := chain[0]
+	addLoad := func(x topo.NodeID, terms ...lp.Term) {
+		loadTerms[x] = append(loadTerms[x], terms...)
+		m := instTerms[inst.Key]
+		if m == nil {
+			m = make(map[topo.NodeID][]lp.Term)
+			instTerms[inst.Key] = m
+		}
+		m[x] = append(m[x], terms...)
+	}
 
 	// Stage 0: group sources by candidate tuple (exact reduction: members
 	// of a group are interchangeable).
@@ -324,8 +315,8 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 		members []topo.NodeID
 	}
 	groups := make(map[string]*group)
-	srcs := make([]topo.NodeID, 0, len(inst.srcVols))
-	for s := range inst.srcVols {
+	srcs := make([]topo.NodeID, 0, len(inst.SrcVols))
+	for s := range inst.SrcVols {
 		srcs = append(srcs, s)
 	}
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
@@ -340,7 +331,7 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 			g = &group{cands: cands}
 			groups[key] = g
 		}
-		g.vol += inst.srcVols[s]
+		g.vol += inst.SrcVols[s]
 		g.members = append(g.members, s)
 	}
 	gkeys := make([]string, 0, len(groups))
@@ -355,7 +346,7 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 		terms := make([]lp.Term, len(g.cands))
 		vars := make([]int, len(g.cands))
 		for j, y := range g.cands {
-			v := prob.AddVar(fmt.Sprintf("p%d.s0.g%s.%d", inst.pol.ID, gk, j))
+			v := prob.AddVar(fmt.Sprintf("p%d.s0.g%s.%d", inst.Pol.ID, gk, j))
 			vars[j] = v
 			terms[j] = lp.Term{Var: v, Coef: 1}
 			inflow[y] = append(inflow[y], lp.Term{Var: v, Coef: 1})
@@ -365,8 +356,8 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 			*refs = append(*refs, wRef{
 				owner: member,
 				key: enforce.WeightKey{
-					PolicyID: inst.pol.ID, Func: e1,
-					SrcSubnet: inst.srcSubnet, DstSubnet: inst.dstSubnet,
+					PolicyID: inst.Pol.ID, Func: e1,
+					SrcSubnet: inst.Key.SrcSubnet, DstSubnet: inst.Key.DstSubnet,
 				},
 				vars: vars,
 			})
@@ -384,7 +375,7 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 		}
 		sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
 		for _, x := range xs {
-			loadTerms[x] = append(loadTerms[x], inflow[x]...)
+			addLoad(x, inflow[x]...)
 			cands := c.candidates[x][eNext]
 			if len(cands) == 0 {
 				return fmt.Errorf("controller: middlebox %v has no candidates for %v", x, eNext)
@@ -392,7 +383,7 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 			cons := make([]lp.Term, 0, len(cands)+len(inflow[x]))
 			vars := make([]int, len(cands))
 			for j, y := range cands {
-				v := prob.AddVar(fmt.Sprintf("p%d.s%d.x%d.%d", inst.pol.ID, i, x, j))
+				v := prob.AddVar(fmt.Sprintf("p%d.s%d.x%d.%d", inst.Pol.ID, i, x, j))
 				vars[j] = v
 				cons = append(cons, lp.Term{Var: v, Coef: 1})
 				newInflow[y] = append(newInflow[y], lp.Term{Var: v, Coef: 1})
@@ -404,8 +395,8 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 			*refs = append(*refs, wRef{
 				owner: x,
 				key: enforce.WeightKey{
-					PolicyID: inst.pol.ID, Func: eNext,
-					SrcSubnet: inst.srcSubnet, DstSubnet: inst.dstSubnet,
+					PolicyID: inst.Pol.ID, Func: eNext,
+					SrcSubnet: inst.Key.SrcSubnet, DstSubnet: inst.Key.DstSubnet,
 				},
 				vars: vars,
 			})
@@ -417,7 +408,7 @@ func (c *Controller) buildChain(prob *lp.Problem, inst *chainInstance, loadTerms
 	// the onward traffic to destinations is the aggregated virtual sink
 	// (exact for min-λ; see DESIGN.md).
 	for x, terms := range inflow {
-		loadTerms[x] = append(loadTerms[x], terms...)
+		addLoad(x, terms...)
 	}
 	return nil
 }

@@ -13,23 +13,45 @@ const (
 	MetricLambda     = "sdme_controller_lambda"
 	MetricLPVars     = "sdme_controller_lp_vars"
 	MetricLPIters    = "sdme_controller_lp_iterations"
-	MetricPlanChurn  = "sdme_controller_plan_churn_total"
 	MetricPlanSeries = "sdme_controller_weight_vectors"
+	// Plan churn is reported as actual delta size — the number of
+	// configuration entries added, removed, or reweighted by the latest
+	// plan relative to the previous one — not a whole-plan comparison.
+	// The churn counter accumulates the total; the three class counters
+	// split it; the gauge holds the latest delta's size.
+	MetricPlanChurn          = "sdme_controller_plan_churn_total"
+	MetricPlanDeltaAdds      = "sdme_controller_plan_delta_added_total"
+	MetricPlanDeltaRemoves   = "sdme_controller_plan_delta_removed_total"
+	MetricPlanDeltaReweights = "sdme_controller_plan_delta_reweighted_total"
+	MetricPlanDeltaSize      = "sdme_controller_plan_delta_entries"
 )
 
 // SetMetrics attaches a registry and clock to the controller: every LB
 // solve then records its duration (per the clock — virtual in sim-driven
 // tests, wall in live deployments), the resulting λ, the program size,
-// and the plan churn versus the previous solve. nil detaches.
+// and the delta size versus the previous plan. nil detaches.
 func (c *Controller) SetMetrics(reg *metrics.Registry, clock metrics.Clock) {
 	c.metrics = reg
 	c.clock = clock
 	c.lastWeights = nil
 }
 
-// observeSolve records one successful solve. startUS is the clock
-// reading captured at solve entry (0 if no clock).
+// observeSolve records one successful direct solve (the non-pipeline
+// SolveLB/SolveLBFine path): solve stats plus the weight-entry delta
+// against the previous solve.
 func (c *Controller) observeSolve(sol *LBSolution, startUS int64) {
+	if c.metrics == nil {
+		return
+	}
+	c.observeSolveStats(sol, startUS)
+	c.observePlanDelta(weightDeltaStats(c.lastWeights, sol.Weights))
+	c.lastWeights = sol.Weights
+}
+
+// observeSolveStats records solve count, duration, λ and program size —
+// without any churn accounting (the pipeline reports its own, exact,
+// delta sizes via observePlanDelta).
+func (c *Controller) observeSolveStats(sol *LBSolution, startUS int64) {
 	reg := c.metrics
 	if reg == nil {
 		return
@@ -42,8 +64,21 @@ func (c *Controller) observeSolve(sol *LBSolution, startUS int64) {
 	reg.Gauge(MetricLPVars).Set(float64(sol.Vars))
 	reg.Gauge(MetricLPIters).Set(float64(sol.Iterations))
 	reg.Gauge(MetricPlanSeries).Set(float64(countVectors(sol.Weights)))
-	reg.Counter(MetricPlanChurn).Add(planChurn(c.lastWeights, sol.Weights))
-	c.lastWeights = sol.Weights
+}
+
+// observePlanDelta records the actual size of one plan delta: entries
+// added, removed and reweighted (policies, candidate lists and weight
+// vectors alike for pipeline diffs; weight vectors for direct solves).
+func (c *Controller) observePlanDelta(d DeltaStats) {
+	reg := c.metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter(MetricPlanChurn).Add(int64(d.Total()))
+	reg.Counter(MetricPlanDeltaAdds).Add(int64(d.Added))
+	reg.Counter(MetricPlanDeltaRemoves).Add(int64(d.Removed))
+	reg.Counter(MetricPlanDeltaReweights).Add(int64(d.Reweighted))
+	reg.Gauge(MetricPlanDeltaSize).Set(float64(d.Total()))
 }
 
 // solveStart returns the clock reading to time a solve from.
@@ -69,17 +104,20 @@ func countVectors(w weightPlan) int {
 	return n
 }
 
-// planChurn counts the weight vectors that differ between two plans:
-// added, removed, or changed in any component. Two consecutive solves on
-// the same measurement matrix churn zero.
-func planChurn(old, cur weightPlan) int64 {
-	var churn int64
+// weightDeltaStats classifies the weight-vector entries that differ
+// between two plans as added, removed or reweighted. Two consecutive
+// solves on the same measurement matrix churn zero.
+func weightDeltaStats(old, cur weightPlan) DeltaStats {
+	var d DeltaStats
 	for node, m := range cur {
 		om := old[node]
 		for k, w := range m {
 			ow, ok := om[k]
-			if !ok || !sameVector(ow, w) {
-				churn++
+			switch {
+			case !ok:
+				d.Added++
+			case !sameVector(ow, w):
+				d.Reweighted++
 			}
 		}
 	}
@@ -87,11 +125,11 @@ func planChurn(old, cur weightPlan) int64 {
 		m := cur[node]
 		for k := range om {
 			if _, ok := m[k]; !ok {
-				churn++
+				d.Removed++
 			}
 		}
 	}
-	return churn
+	return d
 }
 
 func sameVector(a, b []float64) bool {

@@ -2,6 +2,7 @@ package controller
 
 import (
 	"sdme/internal/enforce"
+	"sdme/internal/policy"
 	"sdme/internal/topo"
 	"sdme/internal/verify"
 )
@@ -41,4 +42,40 @@ func (c *Controller) verifyPlan(weights map[topo.NodeID]map[enforce.WeightKey][]
 		return nil
 	}
 	return verify.AsError(c.VerifyPlan(weights))
+}
+
+// verifyPlanWith is verifyPlan over an explicit candidate snapshot (a
+// compiled Plan's) instead of the controller's live cache.
+func (c *Controller) verifyPlanWith(candidates map[topo.NodeID]map[policy.FuncType][]topo.NodeID, weights map[topo.NodeID]map[enforce.WeightKey][]float64) error {
+	if !c.opts.Verify {
+		return nil
+	}
+	return verify.AsError(verify.Check(verify.Plan{
+		Dep:        c.dep,
+		AP:         c.ap,
+		Policies:   c.policies,
+		Candidates: candidates,
+		Weights:    weights,
+		Failed:     c.Failed(),
+		K:          c.kFor,
+	}))
+}
+
+// verifyPlanScoped gates a scoped re-solve: the invariants are checked
+// only for the dirty policy set (and the candidate lists / weight vectors
+// those policies can exercise), which is what keeps incremental
+// verification proportional to the change rather than the plan.
+func (c *Controller) verifyPlanScoped(candidates map[topo.NodeID]map[policy.FuncType][]topo.NodeID, weights map[topo.NodeID]map[enforce.WeightKey][]float64, policyIDs map[int]bool) error {
+	if !c.opts.Verify {
+		return nil
+	}
+	return verify.AsError(verify.CheckScoped(verify.Plan{
+		Dep:        c.dep,
+		AP:         c.ap,
+		Policies:   c.policies,
+		Candidates: candidates,
+		Weights:    weights,
+		Failed:     c.Failed(),
+		K:          c.kFor,
+	}, policyIDs))
 }

@@ -24,3 +24,16 @@ func (n *Node) Install(cfg Config) error {
 func (n *Node) SetWeights(w map[int]float64) {
 	n.cfg.Weights = w
 }
+
+// ConfigDelta is an in-place configuration edit script.
+type ConfigDelta struct {
+	SetWeights map[int]float64
+}
+
+// ApplyDelta applies a configuration delta in place (wiretaint sink).
+func (n *Node) ApplyDelta(d ConfigDelta) error {
+	for k, v := range d.SetWeights {
+		n.cfg.Weights[k] = v
+	}
+	return nil
+}

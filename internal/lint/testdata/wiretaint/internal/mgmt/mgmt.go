@@ -88,3 +88,52 @@ func ApplyThroughHelper(n *enforce.Node, data []byte) error {
 func ApplyConstant(n *enforce.Node) error {
 	return n.Install(enforce.Config{Strategy: 1})
 }
+
+// DeltaDTO is the wire form of a configuration delta.
+type DeltaDTO struct {
+	SetWeights map[int]float64 `json:"set_weights"`
+}
+
+// Validate is the delta sanitizer wiretaint recognizes.
+func (d *DeltaDTO) Validate() error {
+	for _, v := range d.SetWeights {
+		if v < 0 {
+			return errors.New("negative weight")
+		}
+	}
+	return nil
+}
+
+// DeltaFromDTO converts the wire delta to the applied form; taint
+// propagates through it.
+func DeltaFromDTO(d DeltaDTO) enforce.ConfigDelta {
+	return enforce.ConfigDelta{SetWeights: d.SetWeights}
+}
+
+// ApplyDeltaUnvalidated applies a wire-decoded delta without validation:
+// positive (ApplyDelta is an enforcement-state sink like Install).
+func ApplyDeltaUnvalidated(n *enforce.Node, data []byte) error {
+	var dto DeltaDTO
+	_ = json.Unmarshal(data, &dto)
+	return n.ApplyDelta(DeltaFromDTO(dto)) // want:wiretaint
+}
+
+// ApplyDeltaValidated validates before applying: negative.
+func ApplyDeltaValidated(n *enforce.Node, data []byte) error {
+	var dto DeltaDTO
+	_ = json.Unmarshal(data, &dto)
+	if err := dto.Validate(); err != nil {
+		return err
+	}
+	return n.ApplyDelta(DeltaFromDTO(dto))
+}
+
+// ApplyDeltaInClosure reaches ApplyDelta inside a Device.Do closure,
+// like the real agent's delta path: positive.
+func ApplyDeltaInClosure(d *Device, data []byte) {
+	var dto DeltaDTO
+	_ = json.Unmarshal(data, &dto)
+	d.Do(func(n *enforce.Node) {
+		_ = n.ApplyDelta(DeltaFromDTO(dto)) // want:wiretaint
+	})
+}

@@ -38,7 +38,7 @@ var WireTaintDepth = 3
 // Matching by suffix keeps the table valid for the fixture modules the
 // golden tests load (their packages end in the same suffixes).
 var wireSinkMethods = map[string][]string{
-	"internal/enforce":   {"Install", "SetWeights", "SetStrategy"},
+	"internal/enforce":   {"Install", "SetWeights", "SetStrategy", "ApplyDelta"},
 	"internal/flowtable": {"Insert", "Install", "Set", "Add"},
 	"internal/controller": {
 		"SolveLB", "SolveLBFine", "MarkFailed", "Reassign", "SetMeasurements",

@@ -84,6 +84,9 @@ type AgentStats struct {
 	Reconnects int64
 	// Applies counts configurations actually installed on the device.
 	Applies int64
+	// DeltaApplies counts the subset of Applies that were in-place
+	// configuration deltas (soft state preserved for untouched flows).
+	DeltaApplies int64
 	// StaleConfigs counts configs acked idempotently because their epoch
 	// was already applied (reconnect re-pushes crossing an earlier ack).
 	StaleConfigs int64
@@ -120,18 +123,19 @@ type Agent struct {
 	writeMu sync.Mutex
 	conn    net.Conn
 
-	epoch      atomic.Uint64 // last applied config epoch
-	term       atomic.Uint64 // highest leadership term seen on any push
-	reconnects atomic.Int64
-	applies    atomic.Int64
-	stale      atomic.Int64
-	staleTerms atomic.Int64
-	redirects  atomic.Int64
-	reports    atomic.Int64
-	prepared   atomic.Int64
-	committed  atomic.Int64
-	aborted    atomic.Int64
-	am         *agentMetrics // nil unless AgentOptions.Metrics was set
+	epoch        atomic.Uint64 // last applied config epoch
+	term         atomic.Uint64 // highest leadership term seen on any push
+	reconnects   atomic.Int64
+	applies      atomic.Int64
+	deltaApplies atomic.Int64
+	stale        atomic.Int64
+	staleTerms   atomic.Int64
+	redirects    atomic.Int64
+	reports      atomic.Int64
+	prepared     atomic.Int64
+	committed    atomic.Int64
+	aborted      atomic.Int64
+	am           *agentMetrics // nil unless AgentOptions.Metrics was set
 
 	// addrMu guards the replica-address rotation: which of opts.Addrs
 	// the next dial targets.
@@ -204,6 +208,7 @@ func (a *Agent) Stats() AgentStats {
 	return AgentStats{
 		Reconnects:   a.reconnects.Load(),
 		Applies:      a.applies.Load(),
+		DeltaApplies: a.deltaApplies.Load(),
 		StaleConfigs: a.stale.Load(),
 		ReportsSent:  a.reports.Load(),
 		Prepared:     a.prepared.Load(),
@@ -319,8 +324,12 @@ func (a *Agent) dispatch(env *Envelope) {
 	switch env.T {
 	case TypeConfig:
 		a.handleConfig(env.Data)
+	case TypeDelta:
+		a.handleDelta(env.Data)
 	case TypePrepare:
 		a.handlePrepare(env.Data)
+	case TypePrepareDelta:
+		a.handlePrepareDelta(env.Data)
 	case TypeCommit:
 		a.handleCommit(env.Data)
 	case TypeAbort:

@@ -1,0 +1,92 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sdme/internal/enforce"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// seedDelta mirrors the deltas the incremental pipeline emits: a policy
+// upsert, a removal, a candidate-list change, and weight edits.
+func seedDelta() enforce.ConfigDelta {
+	base := seedConfig()
+	return enforce.ConfigDelta{
+		Upserts:        []*policy.Policy{base.Policies[0]},
+		Removes:        []int{2},
+		SetCandidates:  map[policy.FuncType][]topo.NodeID{policy.FuncIDS: {12, 13}},
+		DropCandidates: []policy.FuncType{policy.FuncWP},
+		SetWeights: map[enforce.WeightKey][]float64{
+			{PolicyID: 1, Func: policy.FuncFW}: {0.5, 0.5},
+		},
+		DropWeights: []enforce.WeightKey{{PolicyID: 2, Func: policy.FuncIDS}},
+	}
+}
+
+// fuzzProxyDeployment builds one small deployment the apply-never-panics
+// check creates fresh nodes from (a node per fuzz input: ApplyDelta
+// mutates node state and fuzz workers run in parallel).
+func fuzzProxyDeployment(f *testing.F) (*enforce.Deployment, topo.NodeID) {
+	f.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := topo.Campus(topo.CampusConfig{Gateways: 1, CoreRouters: 2, EdgeRouters: 1, WithProxies: true}, rng)
+	dep, err := enforce.NewDeployment(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return dep, dep.ProxyNodes[0]
+}
+
+// FuzzConfigDelta hardens the delta wire path end to end: any DeltaDTO
+// that decodes from JSON must (1) have a stable canonical wire form —
+// DeltaToDTO∘DeltaFromDTO is a fixed point — and (2) never panic the
+// apply path: a validated delta applied to a pure Config copy and to a
+// live Node may be refused with an error, but must not crash either.
+func FuzzConfigDelta(f *testing.F) {
+	for _, dto := range []DeltaDTO{
+		DeltaToDTO(1, seedDelta()),
+		{Seq: 2, BaseEpoch: 3, Removes: []int{1, 2, 3}},
+		{Seq: 3, Upserts: []PolicyDTO{{ID: 1, Prio: 2, SrcAddr: 0x0a000001, SrcBits: 8, Actions: []int{1}}}},
+		{Seq: 4, SetWeights: []WeightDTO{{PolicyID: 1, Func: 1, Weights: []float64{1}}},
+			DropWeights: []WeightKeyDTO{{PolicyID: 9, Func: 2}}},
+	} {
+		b, err := json.Marshal(dto)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	dep, proxyID := fuzzProxyDeployment(f)
+	base := seedConfig()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dto DeltaDTO
+		if err := json.Unmarshal(data, &dto); err != nil {
+			return
+		}
+		// Codec fixed point: the canonical form re-encodes to itself.
+		d := DeltaFromDTO(dto)
+		canon := DeltaToDTO(dto.Seq, d)
+		again := DeltaToDTO(dto.Seq, DeltaFromDTO(canon))
+		if !reflect.DeepEqual(canon, again) {
+			t.Fatalf("delta not stable across round trip:\n%#v\nvs\n%#v", canon, again)
+		}
+
+		// Apply never panics. The wire trust boundary guarantees Validate
+		// ran before ApplyDelta, so only validated deltas reach a node.
+		if dto.Validate() != nil {
+			return
+		}
+		dv := DeltaFromDTO(dto)
+		_ = dv.ApplyToConfig(base)
+		n := enforce.NewProxy(dep, proxyID)
+		if err := n.Install(base); err != nil {
+			t.Fatalf("install seed config: %v", err)
+		}
+		_ = n.ApplyDelta(dv)
+	})
+}

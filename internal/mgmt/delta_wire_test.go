@@ -1,0 +1,230 @@
+package mgmt
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"sdme/internal/enforce"
+	"sdme/internal/metrics"
+	"sdme/internal/policy"
+	"sdme/internal/topo"
+)
+
+// The delta rollout's two safety rules are protocol behavior, so they
+// are tested at the wire level with a scripted peer standing in for the
+// agent: base fencing (a refused delta degrades to a full push of the
+// merged configuration at the same epoch) and merge-at-store (reconnect
+// catch-up always re-pushes a full merged configuration, never a delta
+// chain, no matter how many delta epochs a node missed).
+
+const fakeNode = topo.NodeID(7)
+
+// dialFake connects a scripted agent to the server and completes the
+// hello handshake, reporting the given applied epoch.
+func dialFake(t *testing.T, addr string, epoch uint64) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(conn, TypeHello, Hello{NodeID: int(fakeNode), Name: "fake", Epoch: epoch}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := readMsg(conn)
+	if err != nil || env.T != TypeHelloAck {
+		t.Fatalf("handshake: %v %v", env, err)
+	}
+	return conn
+}
+
+// serveScript answers every envelope with handle's ack and records the
+// envelope types seen, until the connection closes.
+func serveScript(t *testing.T, conn net.Conn, seen chan<- *Envelope, handle func(env *Envelope) Ack) {
+	for {
+		env, err := readMsg(conn)
+		if err != nil {
+			return
+		}
+		ack := handle(env)
+		if err := writeMsg(conn, TypeAck, ack); err != nil {
+			return
+		}
+		seen <- env
+	}
+}
+
+func seqEpochOf(t *testing.T, env *Envelope) (uint64, uint64) {
+	t.Helper()
+	var hdr struct {
+		Seq   uint64 `json:"seq"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(env.Data, &hdr); err != nil {
+		t.Fatalf("decode %s header: %v", env.T, err)
+	}
+	return hdr.Seq, hdr.Epoch
+}
+
+func TestPushDeltaRequiresFullBase(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	err = srv.PushDelta(fakeNode, seedDelta(), RetryPolicy{Attempts: 1, PerAttempt: time.Second})
+	if !errors.Is(err, ErrNoBase) {
+		t.Fatalf("delta push without a recorded base: err = %v, want ErrNoBase", err)
+	}
+}
+
+func TestPushDeltaBaseMismatchFallsBackToFull(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	reg := metrics.NewRegistry(nil)
+	srv.SetMetrics(reg)
+
+	conn := dialFake(t, srv.Addr(), 0)
+	defer conn.Close()
+	seen := make(chan *Envelope, 16)
+	go serveScript(t, conn, seen, func(env *Envelope) Ack {
+		seq, epoch := seqEpochOf(t, env)
+		if env.T == TypeDelta {
+			// Script the race the fallback exists for: the agent reports
+			// an applied epoch other than the delta's base.
+			return Ack{Seq: seq, Epoch: epoch, Error: RefuseDeltaBase + ": applied epoch 9, delta base 1"}
+		}
+		return Ack{Seq: seq, Epoch: epoch}
+	})
+	if !srv.WaitConnected(3*time.Second, fakeNode) {
+		t.Fatal("fake agent not registered")
+	}
+
+	pol := RetryPolicy{Attempts: 1, PerAttempt: 3 * time.Second}
+	if err := srv.PushRetry(fakeNode, ConfigToDTO(0, seedConfig()), pol); err != nil {
+		t.Fatalf("full push: %v", err)
+	}
+	if err := srv.PushDelta(fakeNode, seedDelta(), pol); err != nil {
+		t.Fatalf("delta push should fall back to full, got %v", err)
+	}
+
+	var types []string
+	var last *Envelope
+	for len(seen) > 0 {
+		last = <-seen
+		types = append(types, last.T)
+	}
+	want := []string{TypeConfig, TypeDelta, TypeConfig}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("wire sequence = %v, want %v", types, want)
+	}
+	// The fallback is the delta-merged full configuration at the delta's
+	// epoch: the seed delta removes policy 2, so the merged config must
+	// not carry it.
+	var dto ConfigDTO
+	if err := json.Unmarshal(last.Data, &dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.Epoch != 2 {
+		t.Errorf("fallback epoch = %d, want the delta's epoch 2", dto.Epoch)
+	}
+	for _, p := range dto.Policies {
+		if p.ID == 2 {
+			t.Errorf("fallback config still carries removed policy 2")
+		}
+	}
+	if got := reg.Counter(MetricDeltaFallbacks).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDeltaFallbacks, got)
+	}
+	if reg.Counter(MetricPushBytesDelta).Value() == 0 {
+		t.Errorf("%s not counted", MetricPushBytesDelta)
+	}
+	if reg.Counter(MetricPushBytesFull).Value() == 0 {
+		t.Errorf("%s not counted", MetricPushBytesFull)
+	}
+}
+
+func TestDeltaReconnectCatchupPushesMergedFull(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn := dialFake(t, srv.Addr(), 0)
+	seen := make(chan *Envelope, 16)
+	go serveScript(t, conn, seen, func(env *Envelope) Ack {
+		seq, epoch := seqEpochOf(t, env)
+		return Ack{Seq: seq, Epoch: epoch}
+	})
+	if !srv.WaitConnected(3*time.Second, fakeNode) {
+		t.Fatal("fake agent not registered")
+	}
+	pol := RetryPolicy{Attempts: 1, PerAttempt: 3 * time.Second}
+	if err := srv.PushRetry(fakeNode, ConfigToDTO(0, seedConfig()), pol); err != nil {
+		t.Fatalf("full push: %v", err)
+	}
+	<-seen // the config envelope
+
+	// The node goes dark; two delta epochs are minted against it and both
+	// fail on the wire. Merge-at-store still advanced the recorded latest
+	// plan to the merged full configuration each time.
+	_ = conn.Close()
+	short := RetryPolicy{Attempts: 1, PerAttempt: 200 * time.Millisecond}
+	d1 := enforce.ConfigDelta{Removes: []int{2}}
+	d2 := enforce.ConfigDelta{SetWeights: map[enforce.WeightKey][]float64{
+		{PolicyID: 1, Func: policy.FuncFW}: {0.25, 0.75},
+	}}
+	if err := srv.PushDelta(fakeNode, d1, short); err == nil {
+		t.Fatal("delta push to a dark node should fail")
+	}
+	if err := srv.PushDelta(fakeNode, d2, short); err == nil {
+		t.Fatal("delta push to a dark node should fail")
+	}
+
+	// Reconnect reporting the last applied epoch (1). Catch-up must send
+	// ONE full config at the newest epoch with both deltas folded in — a
+	// node is never asked to replay a delta chain.
+	conn2 := dialFake(t, srv.Addr(), 1)
+	defer conn2.Close()
+	go serveScript(t, conn2, seen, func(env *Envelope) Ack {
+		seq, epoch := seqEpochOf(t, env)
+		return Ack{Seq: seq, Epoch: epoch}
+	})
+	var env *Envelope
+	select {
+	case env = <-seen:
+	case <-time.After(3 * time.Second):
+		t.Fatal("no catch-up push after reconnect")
+	}
+	if env.T != TypeConfig {
+		t.Fatalf("catch-up pushed %s, want %s", env.T, TypeConfig)
+	}
+	var dto ConfigDTO
+	if err := json.Unmarshal(env.Data, &dto); err != nil {
+		t.Fatal(err)
+	}
+	if dto.Epoch != 3 {
+		t.Errorf("catch-up epoch = %d, want 3 (both delta epochs folded)", dto.Epoch)
+	}
+	for _, p := range dto.Policies {
+		if p.ID == 2 {
+			t.Errorf("catch-up config still carries policy 2 removed by the first delta")
+		}
+	}
+	var w []float64
+	for _, wd := range dto.Weights {
+		if wd.PolicyID == 1 && wd.Func == int(policy.FuncFW) {
+			w = wd.Weights
+		}
+	}
+	if len(w) != 2 || w[0] != 0.25 || w[1] != 0.75 {
+		t.Errorf("catch-up config missing the second delta's weights: %v", w)
+	}
+}

@@ -21,6 +21,14 @@ const (
 	MetricPrepares        = "sdme_mgmt_prepares_total"
 	MetricCommits         = "sdme_mgmt_commits_total"
 	MetricRollbacks       = "sdme_mgmt_rollbacks_total"
+	// Delta rollout accounting: how many pushes went out as deltas, how
+	// many of those degraded to a full push on a base-epoch refusal, and
+	// the encoded wire bytes of full-config vs delta pushes — the pair
+	// the "delta pushes ≤10% of full-push bytes" acceptance check reads.
+	MetricDeltaPushes    = "sdme_mgmt_delta_pushes_total"
+	MetricDeltaFallbacks = "sdme_mgmt_delta_fallbacks_total"
+	MetricPushBytesFull  = "sdme_mgmt_push_bytes_full_total"
+	MetricPushBytesDelta = "sdme_mgmt_push_bytes_delta_total"
 
 	MetricAgentReconnects   = "sdme_agent_reconnects_total"
 	MetricAgentApplies      = "sdme_agent_applies_total"
@@ -31,6 +39,7 @@ const (
 	MetricAgentPrepares     = "sdme_agent_prepares_total"
 	MetricAgentCommits      = "sdme_agent_commits_total"
 	MetricAgentAborts       = "sdme_agent_aborts_total"
+	MetricAgentDeltaApplies = "sdme_agent_delta_applies_total"
 )
 
 // serverMetrics caches the server's registry handles.
@@ -38,6 +47,8 @@ type serverMetrics struct {
 	pushes, attempts, retries, failures, refused *metrics.Counter
 	connects, repush, reports                    *metrics.Counter
 	prepares, commits, rollbacks                 *metrics.Counter
+	deltaPushes, deltaFallbacks                  *metrics.Counter
+	bytesFull, bytesDelta                        *metrics.Counter
 }
 
 // SetMetrics attaches a registry to the server. Safe to call while
@@ -59,6 +70,11 @@ func (s *Server) SetMetrics(reg *metrics.Registry) {
 		prepares:  reg.Counter(MetricPrepares),
 		commits:   reg.Counter(MetricCommits),
 		rollbacks: reg.Counter(MetricRollbacks),
+
+		deltaPushes:    reg.Counter(MetricDeltaPushes),
+		deltaFallbacks: reg.Counter(MetricDeltaFallbacks),
+		bytesFull:      reg.Counter(MetricPushBytesFull),
+		bytesDelta:     reg.Counter(MetricPushBytesDelta),
 	})
 }
 
@@ -70,11 +86,33 @@ func (s *Server) smInc(sel func(*serverMetrics) *metrics.Counter) {
 	}
 }
 
+// observePushBytes records one push's encoded envelope size under the
+// full or delta byte counter. The payload is encoded with its pre-seq
+// value (seq is assigned per attempt and adds a handful of digits the
+// full-vs-delta comparison does not care about); nothing is encoded when
+// no registry is attached.
+func (s *Server) observePushBytes(typ string, v interface{}, delta bool) {
+	m := s.sm.Load()
+	if m == nil {
+		return
+	}
+	buf, err := EncodeEnvelope(typ, v)
+	if err != nil {
+		return
+	}
+	if delta {
+		m.bytesDelta.Add(int64(len(buf)))
+	} else {
+		m.bytesFull.Add(int64(len(buf)))
+	}
+}
+
 // agentMetrics caches an agent's per-node registry handles.
 type agentMetrics struct {
 	reconnects, applies, epochRejects, reports *metrics.Counter
 	termRejects, redirects                     *metrics.Counter
 	prepares, commits, aborts                  *metrics.Counter
+	deltaApplies                               *metrics.Counter
 }
 
 func newAgentMetrics(reg *metrics.Registry, nodeID int) *agentMetrics {
@@ -92,6 +130,7 @@ func newAgentMetrics(reg *metrics.Registry, nodeID int) *agentMetrics {
 		prepares:     reg.Counter(MetricAgentPrepares, "node", node),
 		commits:      reg.Counter(MetricAgentCommits, "node", node),
 		aborts:       reg.Counter(MetricAgentAborts, "node", node),
+		deltaApplies: reg.Counter(MetricAgentDeltaApplies, "node", node),
 	}
 }
 

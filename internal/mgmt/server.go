@@ -355,6 +355,7 @@ func (s *Server) PushRetry(node topo.NodeID, dto ConfigDTO, pol RetryPolicy) err
 	s.storeLatestLocked(node, dto)
 	s.mu.Unlock()
 	s.smInc(func(m *serverMetrics) *metrics.Counter { return m.pushes })
+	s.observePushBytes(TypeConfig, dto, false)
 	return s.callRetry(node, TypeConfig, func(seq uint64) interface{} {
 		dto.Seq = seq
 		return dto

@@ -64,6 +64,7 @@ func (s *Server) PushAll2PC(plans map[topo.NodeID]ConfigDTO, pol RetryPolicy) (u
 		go func(i int, node topo.NodeID, dto ConfigDTO) {
 			defer wg.Done()
 			s.smInc(func(m *serverMetrics) *metrics.Counter { return m.prepares })
+			s.observePushBytes(TypePrepare, dto, false)
 			errs[i] = s.callRetry(node, TypePrepare, func(seq uint64) interface{} {
 				dto.Seq = seq
 				return dto
@@ -120,10 +121,13 @@ func (s *Server) PushAll2PC(plans map[topo.NodeID]ConfigDTO, pol RetryPolicy) (u
 	return epoch, nil
 }
 
-// stagedPlan is an agent's prepared-but-not-applied configuration.
+// stagedPlan is an agent's prepared-but-not-applied configuration: a
+// full ConfigDTO from a TypePrepare, or a DeltaDTO from a
+// TypePrepareDelta (delta non-nil wins).
 type stagedPlan struct {
 	epoch uint64
 	dto   ConfigDTO
+	delta *DeltaDTO
 }
 
 // handlePrepare validates and stages a plan without applying it. The ack
@@ -199,12 +203,17 @@ func (a *Agent) handleCommit(data []byte) {
 			Error: fmt.Sprintf("no staged plan for epoch %d", cm.Epoch)})
 		return
 	}
-	dto := st.dto
-	dto.Seq = cm.Seq
-	// applyDTO re-validates before installing (defense in depth at the
-	// wire trust boundary; the staged copy crossed goroutines since its
-	// prepare-time check).
-	errStr := a.applyDTO(dto)
+	// applyDTO / applyDeltaDTO re-validate before installing (defense in
+	// depth at the wire trust boundary; the staged copy crossed goroutines
+	// since its prepare-time check).
+	var errStr string
+	if st.delta != nil {
+		errStr = a.applyDeltaDTO(*st.delta)
+	} else {
+		dto := st.dto
+		dto.Seq = cm.Seq
+		errStr = a.applyDTO(dto)
+	}
 	if errStr == "" {
 		a.committed.Add(1)
 		if a.am != nil {

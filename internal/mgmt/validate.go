@@ -58,6 +58,49 @@ func (d *ConfigDTO) Validate() error {
 	return nil
 }
 
+// Validate checks a configuration delta for the same structural sanity a
+// full config gets: upserted policies well-formed, candidate and removal
+// identifiers in range, weight vectors finite and non-negative. An agent
+// must pass it before any field reaches Node.ApplyDelta.
+func (d *DeltaDTO) Validate() error {
+	for i, p := range d.Upserts {
+		if err := p.validate(); err != nil {
+			return fmt.Errorf("mgmt: delta seq %d: upsert[%d]: %w", d.Seq, i, err)
+		}
+	}
+	for i, id := range d.Removes {
+		if id < 0 {
+			return fmt.Errorf("mgmt: delta seq %d: removes[%d]: negative policy id %d", d.Seq, i, id)
+		}
+	}
+	for i, c := range d.SetCandidates {
+		if c.Func <= 0 {
+			return fmt.Errorf("mgmt: delta seq %d: set_candidates[%d]: function code %d out of range", d.Seq, i, c.Func)
+		}
+		for _, n := range c.Nodes {
+			if n < 0 {
+				return fmt.Errorf("mgmt: delta seq %d: set_candidates[%d]: negative node id %d", d.Seq, i, n)
+			}
+		}
+	}
+	for i, f := range d.DropCandidates {
+		if f <= 0 {
+			return fmt.Errorf("mgmt: delta seq %d: drop_candidates[%d]: function code %d out of range", d.Seq, i, f)
+		}
+	}
+	for i, w := range d.SetWeights {
+		if err := w.validate(); err != nil {
+			return fmt.Errorf("mgmt: delta seq %d: set_weights[%d]: %w", d.Seq, i, err)
+		}
+	}
+	for i, k := range d.DropWeights {
+		if k.PolicyID < 0 || k.Func <= 0 || k.SrcSubnet < 0 || k.DstSubnet < 0 {
+			return fmt.Errorf("mgmt: delta seq %d: drop_weights[%d]: identifier out of range", d.Seq, i)
+		}
+	}
+	return nil
+}
+
 func (p *PolicyDTO) validate() error {
 	if p.ID < 0 {
 		return fmt.Errorf("negative policy id %d", p.ID)

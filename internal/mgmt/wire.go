@@ -51,6 +51,13 @@ const (
 	TypePrepare = "prepare"
 	TypeCommit  = "commit"
 	TypeAbort   = "abort"
+	// TypeDelta carries a DeltaDTO — the incremental pipeline's per-node
+	// edit script, applied in place by the agent without reinstalling the
+	// untouched parts of the configuration. TypePrepareDelta is the same
+	// payload staged under the two-phase rollout: commit/abort reuse
+	// TypeCommit/TypeAbort unchanged.
+	TypeDelta        = "delta"
+	TypePrepareDelta = "prepare-delta"
 	// TypeLeaseRequest / TypeLeaseGrant / TypeHeartbeat are the
 	// controller-replica election protocol (internal/controller/election.go):
 	// a candidate asks its peers for a term-scoped lease, peers grant at
@@ -344,18 +351,7 @@ func ConfigToDTO(seq uint64, cfg enforce.Config) ConfigDTO {
 		UseTrie:        cfg.UseTrie,
 	}
 	for _, p := range cfg.Policies {
-		pd := PolicyDTO{
-			ID: p.ID, Prio: p.Prio,
-			SrcAddr: uint32(p.Desc.Src.Addr()), SrcBits: p.Desc.Src.Bits(),
-			DstAddr: uint32(p.Desc.Dst.Addr()), DstBits: p.Desc.Dst.Bits(),
-			SrcPortLo: p.Desc.SrcPort.Lo, SrcPortHi: p.Desc.SrcPort.Hi,
-			DstPortLo: p.Desc.DstPort.Lo, DstPortHi: p.Desc.DstPort.Hi,
-			Proto: p.Desc.Proto,
-		}
-		for _, a := range p.Actions {
-			pd.Actions = append(pd.Actions, int(a))
-		}
-		dto.Policies = append(dto.Policies, pd)
+		dto.Policies = append(dto.Policies, policyToDTO(p))
 	}
 	for f, nodes := range cfg.Candidates {
 		cd := CandidateDTO{Func: int(f)}
@@ -396,20 +392,7 @@ func ConfigFromDTO(dto ConfigDTO) (enforce.Config, error) {
 		UseTrie:        dto.UseTrie,
 	}
 	for _, pd := range dto.Policies {
-		desc := policy.Descriptor{
-			Src:     netaddr.PrefixFrom(netaddr.Addr(pd.SrcAddr), pd.SrcBits),
-			Dst:     netaddr.PrefixFrom(netaddr.Addr(pd.DstAddr), pd.DstBits),
-			SrcPort: netaddr.PortRange{Lo: pd.SrcPortLo, Hi: pd.SrcPortHi},
-			DstPort: netaddr.PortRange{Lo: pd.DstPortLo, Hi: pd.DstPortHi},
-			Proto:   pd.Proto,
-		}
-		actions := make(policy.ActionList, len(pd.Actions))
-		for i, a := range pd.Actions {
-			actions[i] = policy.FuncType(a)
-		}
-		cfg.Policies = append(cfg.Policies, &policy.Policy{
-			ID: pd.ID, Prio: pd.Prio, Desc: desc, Actions: actions,
-		})
+		cfg.Policies = append(cfg.Policies, policyFromDTO(pd))
 	}
 	if len(dto.Candidates) > 0 {
 		cfg.Candidates = make(map[policy.FuncType][]topo.NodeID, len(dto.Candidates))
@@ -423,6 +406,38 @@ func ConfigFromDTO(dto ConfigDTO) (enforce.Config, error) {
 	}
 	cfg.Weights = WeightsFromDTO(dto.Weights)
 	return cfg, nil
+}
+
+// policyToDTO and policyFromDTO are the lossless per-policy codec shared
+// by full-config and delta pushes.
+func policyToDTO(p *policy.Policy) PolicyDTO {
+	pd := PolicyDTO{
+		ID: p.ID, Prio: p.Prio,
+		SrcAddr: uint32(p.Desc.Src.Addr()), SrcBits: p.Desc.Src.Bits(),
+		DstAddr: uint32(p.Desc.Dst.Addr()), DstBits: p.Desc.Dst.Bits(),
+		SrcPortLo: p.Desc.SrcPort.Lo, SrcPortHi: p.Desc.SrcPort.Hi,
+		DstPortLo: p.Desc.DstPort.Lo, DstPortHi: p.Desc.DstPort.Hi,
+		Proto: p.Desc.Proto,
+	}
+	for _, a := range p.Actions {
+		pd.Actions = append(pd.Actions, int(a))
+	}
+	return pd
+}
+
+func policyFromDTO(pd PolicyDTO) *policy.Policy {
+	desc := policy.Descriptor{
+		Src:     netaddr.PrefixFrom(netaddr.Addr(pd.SrcAddr), pd.SrcBits),
+		Dst:     netaddr.PrefixFrom(netaddr.Addr(pd.DstAddr), pd.DstBits),
+		SrcPort: netaddr.PortRange{Lo: pd.SrcPortLo, Hi: pd.SrcPortHi},
+		DstPort: netaddr.PortRange{Lo: pd.DstPortLo, Hi: pd.DstPortHi},
+		Proto:   pd.Proto,
+	}
+	actions := make(policy.ActionList, len(pd.Actions))
+	for i, a := range pd.Actions {
+		actions[i] = policy.FuncType(a)
+	}
+	return &policy.Policy{ID: pd.ID, Prio: pd.Prio, Desc: desc, Actions: actions}
 }
 
 // WeightsFromDTO reconstructs a weight map.

@@ -11,6 +11,7 @@ package policy
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"sdme/internal/netaddr"
@@ -254,6 +255,24 @@ func (p *Policy) String() string {
 	return fmt.Sprintf("policy#%d[%s: %s]", p.ID, p.Desc, p.Actions)
 }
 
+// Hash is the rule's identity hash: FNV-1a over ID, priority, descriptor
+// and action list. Two Policy values hash equal iff they would install
+// identically, so plan compilation can detect edits without field-by-field
+// comparison and without trusting pointer identity across table edits.
+func (p *Policy) Hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d/%d|%d/%d|%d-%d|%d-%d|%d|",
+		p.ID, p.Prio,
+		uint32(p.Desc.Src.Addr()), p.Desc.Src.Bits(),
+		uint32(p.Desc.Dst.Addr()), p.Desc.Dst.Bits(),
+		p.Desc.SrcPort.Lo, p.Desc.SrcPort.Hi,
+		p.Desc.DstPort.Lo, p.Desc.DstPort.Hi, p.Desc.Proto)
+	for _, f := range p.Actions {
+		fmt.Fprintf(h, "%d,", int(f))
+	}
+	return h.Sum64()
+}
+
 // Classifier finds the first matching policy for a flow.
 type Classifier interface {
 	// Match returns the first (lowest Prio) policy matching ft, or nil.
@@ -268,6 +287,11 @@ type Classifier interface {
 type Table struct {
 	policies []*Policy
 	nextID   int
+	// nextPrio is a monotonic priority counter: priorities of removed
+	// policies are never reused, so a policy added after a removal cannot
+	// collide with a survivor and (Prio, ID) stays a total order across
+	// any edit history.
+	nextPrio int
 }
 
 var _ Classifier = (*Table)(nil)
@@ -277,8 +301,9 @@ func NewTable() *Table { return &Table{} }
 
 // Add appends a policy, assigning ID and priority, and returns it.
 func (t *Table) Add(d Descriptor, a ActionList) *Policy {
-	p := &Policy{ID: t.nextID, Prio: len(t.policies), Desc: d, Actions: a}
+	p := &Policy{ID: t.nextID, Prio: t.nextPrio, Desc: d, Actions: a}
 	t.nextID++
+	t.nextPrio++
 	t.policies = append(t.policies, p)
 	return p
 }
@@ -288,6 +313,50 @@ func (t *Table) Add(d Descriptor, a ActionList) *Policy {
 // only its local priority.
 func (t *Table) AddPolicy(p *Policy) {
 	t.policies = append(t.policies, p)
+	if p.ID >= t.nextID {
+		t.nextID = p.ID + 1
+	}
+	if p.Prio >= t.nextPrio {
+		t.nextPrio = p.Prio + 1
+	}
+}
+
+// Get returns the policy with the given ID, or nil.
+func (t *Table) Get(id int) *Policy {
+	for _, p := range t.policies {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// Remove deletes the policy with the given ID, preserving the relative
+// order (and priorities) of the survivors. It reports whether a policy
+// was removed.
+func (t *Table) Remove(id int) bool {
+	for i, p := range t.policies {
+		if p.ID == id {
+			t.policies = append(t.policies[:i], t.policies[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Update replaces the descriptor and actions of the policy with the given
+// ID, keeping its ID and priority slot. The edit allocates a fresh Policy
+// value so configurations holding the old pointer are not mutated under
+// them; the new value is returned (nil if the ID is unknown).
+func (t *Table) Update(id int, d Descriptor, a ActionList) *Policy {
+	for i, p := range t.policies {
+		if p.ID == id {
+			np := &Policy{ID: p.ID, Prio: p.Prio, Desc: d, Actions: a}
+			t.policies[i] = np
+			return np
+		}
+	}
+	return nil
 }
 
 // Match implements Classifier by linear first-match scan.
